@@ -1,0 +1,109 @@
+package sdl
+
+// One testing.B benchmark per experiment (E1–E11). The paper reports no
+// measured tables, so these regenerate its worked examples and performance
+// claims; the full parameter sweeps live in cmd/sdlbench. Each benchmark
+// iteration runs one complete experiment configuration, so ns/op is the
+// end-to-end time of that configuration.
+
+import (
+	"context"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/bench"
+)
+
+func benchExperiment(b *testing.B, run func(ctx context.Context) error) {
+	b.Helper()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1ArraySumSum1(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E1ArraySum(ctx, []int{64})
+		return err
+	})
+}
+
+func BenchmarkE1ArraySumAllVariants(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E1ArraySum(ctx, []int{16, 64})
+		return err
+	})
+}
+
+func BenchmarkE2PropertyList(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E2PropertyList(ctx, []int{256})
+		return err
+	})
+}
+
+func BenchmarkE3SortConsensus(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E3SortConsensus(ctx, []int{16})
+		return err
+	})
+}
+
+func BenchmarkE4RegionLabel(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E4RegionLabel(ctx, []int{12})
+		return err
+	})
+}
+
+func BenchmarkE5ViewScoping(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E5ViewScoping(ctx, []int{10000})
+		return err
+	})
+}
+
+func BenchmarkE6ConsensusScale(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E6ConsensusScale(ctx, []int{64})
+		return err
+	})
+}
+
+func BenchmarkE7LindaVsSDL(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E7LindaVsSDL(ctx, []int{4})
+		return err
+	})
+}
+
+func BenchmarkE8SocietyScale(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E8SocietyScale(ctx, []int{1000})
+		return err
+	})
+}
+
+func BenchmarkE9ConcurrencyControl(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E9ConcurrencyControl(ctx, []int{8})
+		return err
+	})
+}
+
+func BenchmarkE10WakeupIndex(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E10WakeupIndex(ctx, []int{100})
+		return err
+	})
+}
+
+func BenchmarkE11JoinPlanner(b *testing.B) {
+	benchExperiment(b, func(ctx context.Context) error {
+		_, err := bench.E11JoinPlanner(ctx, []int{1000})
+		return err
+	})
+}

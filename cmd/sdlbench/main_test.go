@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- string(data)
+	}()
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	return <-outCh, runErr
+}
+
+func TestRunSelectedQuick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-quick", "-run", "e5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== E5:") || strings.Contains(out, "== E1:") {
+		t.Errorf("selection failed:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+}
+
+func TestRunMultipleSelection(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-quick", "-run", "E2, E3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== E2:") || !strings.Contains(out, "== E3:") {
+		t.Errorf("multi selection failed:\n%s", out)
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := experiments()
+	if len(exps) != 11 {
+		t.Fatalf("experiments = %d, want 11", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, ex := range exps {
+		if seen[ex.id] {
+			t.Errorf("duplicate id %s", ex.id)
+		}
+		seen[ex.id] = true
+		if ex.quick == nil || ex.full == nil {
+			t.Errorf("%s missing a sweep", ex.id)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-no-such-flag"}) }); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-quick", "-json", "-run", "E5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl map[string]any
+	if err := json.Unmarshal([]byte(out), &tbl); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out)
+	}
+	if tbl["id"] != "E5" {
+		t.Errorf("id = %v", tbl["id"])
+	}
+	rows, ok := tbl["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Errorf("rows = %v", tbl["rows"])
+	}
+}

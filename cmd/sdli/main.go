@@ -1,0 +1,201 @@
+// Command sdli runs SDL source programs: it parses one or more .sdl files
+// (library files of process definitions plus one driver with the main
+// block), compiles them onto the runtime, executes main, and waits for
+// the process society to terminate.
+//
+// Usage:
+//
+//	sdli [flags] program.sdl [more.sdl ...]
+//
+// Flags:
+//
+//	-mode coarse|optimistic   concurrency control (default coarse)
+//	-timeout duration         abort the run after this long (default 1m);
+//	                          on timeout, prints each live process's state
+//	-dump                     print the final dataspace contents
+//	-trace                    print the dataspace event log after the run
+//	-stats                    print engine/runtime statistics
+//	-watch duration           live snapshot sampling while running
+//	-svg file                 write a tuple-lifetime timeline SVG
+//	-checkpoint file          write the final dataspace to a checkpoint
+//	-restore file             load a dataspace checkpoint before running
+//	-fmt                      format the program to stdout instead
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/vis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sdli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sdli", flag.ContinueOnError)
+	var (
+		modeName  = fs.String("mode", "coarse", "concurrency control: coarse or optimistic")
+		timeout   = fs.Duration("timeout", time.Minute, "abort the run after this long")
+		dump      = fs.Bool("dump", false, "print the final dataspace contents")
+		showTrace = fs.Bool("trace", false, "print the dataspace event log")
+		showStats = fs.Bool("stats", false, "print engine/runtime statistics")
+		format    = fs.Bool("fmt", false, "format the program to stdout instead of running it")
+		watch     = fs.Duration("watch", 0, "print dataspace size/version on this cadence while running")
+		svgPath   = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
+		restore   = fs.String("restore", "", "load a dataspace checkpoint before running")
+		ckptPath  = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: sdli [flags] program.sdl [more.sdl ...]")
+	}
+	progs := make([]*lang.Program, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		progs = append(progs, prog)
+	}
+	prog, err := lang.Merge(progs...)
+	if err != nil {
+		return err
+	}
+	if *format {
+		fmt.Print(lang.Format(prog))
+		return nil
+	}
+
+	var mode txn.Mode
+	switch *modeName {
+	case "coarse":
+		mode = txn.Coarse
+	case "optimistic":
+		mode = txn.Optimistic
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	store := dataspace.New()
+	var rec *trace.Recorder
+	if *showTrace || *svgPath != "" {
+		rec = trace.NewRecorder(0)
+		rec.Attach(store)
+	}
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			return err
+		}
+		err = store.ReadCheckpoint(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	engine := txn.New(store, mode)
+	rt := process.NewRuntime(engine, nil)
+	defer func() {
+		rt.Shutdown()
+		rt.Consensus().Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	start := time.Now()
+	if *watch > 0 {
+		// A decoupled visualization process: it observes consistent
+		// snapshots while the society runs.
+		watcher := vis.NewWatcher(store, *watch, func(r dataspace.Reader) {
+			fmt.Printf("watch: v%-6d %6d tuples  %4d processes\n",
+				r.Version(), r.Len(), rt.Running())
+		})
+		defer watcher.Stop()
+	}
+	compiled, err := lang.Compile(prog)
+	if err != nil {
+		return err
+	}
+	if err := compiled.Run(ctx, rt); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Stall diagnosis: show what every live process was doing.
+			fmt.Fprintln(os.Stderr, "sdli: timed out; society at timeout:")
+			for _, p := range rt.Society() {
+				fmt.Fprintf(os.Stderr, "  P%-4d %-20s %s\n", p.PID, p.Type, p.State)
+			}
+		}
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *dump {
+		fmt.Println("-- dataspace --")
+		all := store.All()
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		for _, inst := range all {
+			fmt.Printf("  #%-6d P%-4d %s\n", inst.ID, inst.Owner, inst.Tuple)
+		}
+	}
+	if *showTrace {
+		fmt.Println("-- trace --")
+		if err := rec.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *svgPath != "" {
+		svg := vis.RenderSVGTimeline(rec.Events(), 512)
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("timeline written to %s\n", *svgPath)
+	}
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			return err
+		}
+		werr := store.WriteCheckpoint(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("checkpoint written to %s (%d tuples)\n", *ckptPath, store.Len())
+	}
+	if *showStats {
+		es := engine.Stats()
+		ss := store.Stats()
+		fmt.Println("-- stats --")
+		fmt.Printf("  elapsed       %v\n", elapsed)
+		fmt.Printf("  processes     %d spawned\n", rt.SpawnCount())
+		fmt.Printf("  transactions  %d commits, %d failures, %d attempts, %d conflicts, %d wakeups\n",
+			es.Commits, es.Failures, es.Attempts, es.Conflicts, es.Wakeups)
+		fmt.Printf("  dataspace     %d asserts, %d retracts, %d left, version %d\n",
+			ss.Asserts, ss.Retracts, store.Len(), store.Version())
+		fmt.Printf("  consensus     %d fires\n", rt.Consensus().Fires())
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package sdl_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	sdl "github.com/sdl-lang/sdl"
+)
+
+// The paper's §2.2 immediate transaction:
+// ∃α: <year, α>↑ : α > 87 → (found, α).
+func Example() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	sys.Store.Assert(sdl.Environment,
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(85)),
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(90)),
+	)
+	res, _ := sys.Immediate(sdl.Request{
+		Proc: 1,
+		View: sdl.Universal(),
+		Query: sdl.Q(sdl.R(sdl.C(sdl.Atom("year")), sdl.V("a"))).
+			Where(sdl.Gt(sdl.X("a"), sdl.Lit(sdl.Int(87)))),
+		Asserts: []sdl.Pattern{sdl.P(sdl.C(sdl.Atom("found")), sdl.V("a"))},
+	})
+	fmt.Println(res.OK, res.Env["a"])
+	// Output: true 90
+}
+
+// Views restrict what a process can see: with the paper's §2.1 import
+// rule, years after 87 are invisible.
+func ExampleView() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	sys.Store.Assert(sdl.Environment, sdl.NewTuple(sdl.Atom("year"), sdl.Int(90)))
+	historic := sdl.NewView(
+		sdl.Union(sdl.PatWhere(
+			sdl.P(sdl.C(sdl.Atom("year")), sdl.V("x")),
+			sdl.Le(sdl.X("x"), sdl.Lit(sdl.Int(87))),
+		)),
+		sdl.Everything(),
+	)
+	res, _ := sys.Immediate(sdl.Request{
+		Proc:  1,
+		View:  historic,
+		Query: sdl.Q(sdl.P(sdl.C(sdl.Atom("year")), sdl.V("a"))),
+	})
+	fmt.Println(res.OK)
+	// Output: false
+}
+
+// A delayed transaction blocks until the dataspace enables it.
+func ExampleSystem_Delayed() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		sys.Store.Assert(sdl.Environment, sdl.NewTuple(sdl.Atom("go"), sdl.Int(7)))
+	}()
+	res, _ := sys.Delayed(context.Background(), sdl.Request{
+		Proc:  1,
+		View:  sdl.Universal(),
+		Query: sdl.Q(sdl.R(sdl.C(sdl.Atom("go")), sdl.V("n"))),
+	})
+	fmt.Println(res.OK, res.Env["n"])
+	// Output: true 7
+}
+
+// Process definitions give behaviors to the society; Run spawns one and
+// waits for the society to empty.
+func ExampleSystem_Run() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	_ = sys.Define(&sdl.Definition{
+		Name:   "Square",
+		Params: []string{"n"},
+		Body: []sdl.Stmt{sdl.Transact{
+			Kind:  sdl.Immediate,
+			Query: sdl.Query{Quant: sdl.Exists},
+			Asserts: []sdl.Pattern{sdl.P(sdl.C(sdl.Atom("out")),
+				sdl.E(sdl.Mul(sdl.X("n"), sdl.X("n"))))},
+		}},
+	})
+	_ = sys.Run(context.Background(), "Square", sdl.Int(6))
+	fmt.Println(sys.CollectInt(sdl.Atom("out")))
+	// Output: [36]
+}
+
+// The replication construct: the paper's Sum3 in four lines of API.
+func ExampleReplicate() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	for k, v := range []int64{10, 20, 30, 40} {
+		sys.Store.Assert(sdl.Environment, sdl.NewTuple(sdl.Int(int64(k+1)), sdl.Int(v)))
+	}
+	_ = sys.Define(&sdl.Definition{
+		Name: "Sum3",
+		Body: []sdl.Stmt{sdl.Replicate{Branches: []sdl.Branch{{
+			Guard: sdl.Transact{
+				Kind: sdl.Immediate,
+				Query: sdl.Q(
+					sdl.R(sdl.V("n"), sdl.V("a")),
+					sdl.R(sdl.V("m"), sdl.V("b")),
+				).Where(sdl.Ne(sdl.X("n"), sdl.X("m"))),
+				Asserts: []sdl.Pattern{sdl.P(sdl.V("m"), sdl.E(sdl.Add(sdl.X("a"), sdl.X("b"))))},
+			},
+		}}}},
+	})
+	_ = sys.Run(context.Background(), "Sum3")
+
+	var sum int64
+	sys.Store.Snapshot(func(r sdl.Reader) {
+		r.Each(func(inst sdl.Instance) bool {
+			sum, _ = inst.Tuple.Field(1).AsInt()
+			return false
+		})
+	})
+	fmt.Println(sum)
+	// Output: 100
+}
+
+// A ∀ transaction applies the composite of all solutions atomically.
+func ExampleForAll() {
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+
+	sys.Store.Assert(sdl.Environment,
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(85)),
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(90)),
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(95)),
+	)
+	res, _ := sys.Immediate(sdl.Request{
+		Proc: 1,
+		View: sdl.Universal(),
+		Query: sdl.QAll(sdl.R(sdl.C(sdl.Atom("year")), sdl.V("a"))).
+			Where(sdl.Gt(sdl.X("a"), sdl.Lit(sdl.Int(87)))),
+		Asserts: []sdl.Pattern{sdl.P(sdl.C(sdl.Atom("old")), sdl.V("a"))},
+	})
+	got := sys.CollectInt(sdl.Atom("old"))
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	fmt.Println(res.OK, got)
+	// Output: true [90 95]
+}

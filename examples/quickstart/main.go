@@ -1,0 +1,107 @@
+// Quickstart: the shared dataspace in five minutes.
+//
+// It builds a System, asserts tuples, runs the paper's §2.2 example
+// transactions (membership test, immediate retract-and-assert, delayed
+// transaction), restricts a process with the paper's §2.1 view, and prints
+// the trace of everything that happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	sdl "github.com/sdl-lang/sdl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys := sdl.New(sdl.Options{Trace: -1})
+	defer sys.Close()
+
+	// The dataspace is a multiset of tuples. <year, 87> is the paper's
+	// running example.
+	sys.Store.Assert(sdl.Environment,
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(85)),
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(87)),
+		sdl.NewTuple(sdl.Atom("year"), sdl.Int(90)),
+	)
+
+	// Membership test: (year, 87) — succeeds or fails, no effect.
+	res, err := sys.Immediate(sdl.Request{
+		Proc:  1,
+		View:  sdl.Universal(),
+		Query: sdl.Q(sdl.P(sdl.C(sdl.Atom("year")), sdl.C(sdl.Int(87)))),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("membership <year, 87>:", res.OK)
+
+	// The paper's immediate transaction:
+	//   ∃α: <year, α>! : α > 87 → let N = α, (found, α)
+	res, err = sys.Immediate(sdl.Request{
+		Proc: 1,
+		View: sdl.Universal(),
+		Query: sdl.Q(sdl.R(sdl.C(sdl.Atom("year")), sdl.V("a"))).
+			Where(sdl.Gt(sdl.X("a"), sdl.Lit(sdl.Int(87)))),
+		Asserts: []sdl.Pattern{sdl.P(sdl.C(sdl.Atom("found")), sdl.V("a"))},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("immediate: ok=%v bound α=%v retracted=%d asserted=%d\n",
+		res.OK, res.Env["a"], len(res.Retracted), len(res.Asserted))
+
+	// A delayed transaction blocks until the dataspace enables it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := sys.Delayed(context.Background(), sdl.Request{
+			Proc: 2,
+			View: sdl.Universal(),
+			Query: sdl.Q(sdl.R(sdl.C(sdl.Atom("year")), sdl.V("a"))).
+				Where(sdl.Gt(sdl.X("a"), sdl.Lit(sdl.Int(98)))),
+			Asserts: []sdl.Pattern{sdl.P(sdl.C(sdl.Atom("new_year")))},
+		})
+		if err == nil && res.OK {
+			fmt.Println("delayed: fired for year", res.Env["a"])
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // it is blocked...
+	sys.Store.Assert(sdl.Environment, sdl.NewTuple(sdl.Atom("year"), sdl.Int(99)))
+	<-done
+
+	// Views: the paper's §2.1 example hides years after 87.
+	historic := sdl.NewView(
+		sdl.Union(sdl.PatWhere(
+			sdl.P(sdl.C(sdl.Atom("year")), sdl.V("x")),
+			sdl.Le(sdl.X("x"), sdl.Lit(sdl.Int(87))),
+		)),
+		sdl.Everything(),
+	)
+	res, err = sys.Immediate(sdl.Request{
+		Proc: 3,
+		View: historic,
+		Query: sdl.Q(sdl.P(sdl.C(sdl.Atom("year")), sdl.V("a"))).
+			Where(sdl.Gt(sdl.X("a"), sdl.Lit(sdl.Int(87)))),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("restricted view sees year > 87:", res.OK, "(the window hides them)")
+
+	// Every tuple instance has an identity and an owner; the recorder saw
+	// the whole history.
+	fmt.Println("\ntrace:")
+	return sys.Recorder.WriteText(os.Stdout)
+}

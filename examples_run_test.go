@@ -1,0 +1,85 @@
+package sdl_test
+
+// Smoke-runs every Go example binary so the examples cannot rot. Skipped
+// under -short (each runs a complete program through `go run`).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+func runExample(t *testing.T, timeout time.Duration, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		t.Fatalf("%v timed out", args)
+	}
+	if err != nil {
+		t.Fatalf("%v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/quickstart")
+	for _, want := range []string{"membership <year, 87>: true", "delayed: fired for year 99", "trace:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleArraysum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExample(t, 3*time.Minute, "./examples/arraysum", "-n", "64")
+	if strings.Contains(out, "WRONG") || strings.Count(out, "OK") != 3 {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExampleProplist(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/proplist", "-n", "10")
+	if !strings.Contains(out, "sorted values:") || !strings.Contains(out, "1 consensus firing") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExampleRegionlabel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExample(t, 5*time.Minute, "./examples/regionlabel", "-size", "8", "-blobs", "2")
+	if !strings.Contains(out, "labeled regions") || !strings.Contains(out, "consensus firings") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestExamplePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := runExample(t, 2*time.Minute, "./examples/pipeline", "-jobs", "20", "-workers", "3")
+	if !strings.Contains(out, "sum of squares = 2870 (want 2870)") {
+		t.Errorf("output:\n%s", out)
+	}
+}

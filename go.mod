@@ -1,0 +1,3 @@
+module github.com/sdl-lang/sdl
+
+go 1.22

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestTableWrite(t *testing.T) {
+	tbl := &Table{
+		ID:    "EX",
+		Title: "demo",
+		Note:  "claim",
+		Rows: []Row{
+			{Config: "n=1", Metrics: []Metric{Ms("a", 1500*time.Microsecond), Count("b", 3, "x")}},
+			{Config: "n=200", Metrics: []Metric{Ms("a", 2*time.Millisecond)}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== EX: demo ==", "paper: claim", "a (ms)", "b (x)", "1.500", "n=200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Each experiment runs at its smallest configuration to verify the harness
+// end to end (correctness checks are built into the experiment functions).
+
+func TestE1Smoke(t *testing.T) {
+	tbl, err := E1ArraySum(ctxT(t), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Metrics) != 3 {
+		t.Errorf("rows = %+v", tbl.Rows)
+	}
+}
+
+func TestE2Smoke(t *testing.T) {
+	tbl, err := E2PropertyList(ctxT(t), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Search must spawn one process per hop (L of them for the tail).
+	var procs float64
+	for _, m := range tbl.Rows[0].Metrics {
+		if m.Name == "Search procs" {
+			procs = m.Value
+		}
+	}
+	if procs != 8 {
+		t.Errorf("search procs = %v, want 8", procs)
+	}
+}
+
+func TestE3Smoke(t *testing.T) {
+	if _, err := E3SortConsensus(ctxT(t), []int{6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE4Smoke(t *testing.T) {
+	if _, err := E4RegionLabel(ctxT(t), []int{6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE5ShapeBoundedViewWins(t *testing.T) {
+	tbl, err := E5ViewScoping(ctxT(t), []int{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedup float64
+	for _, m := range tbl.Rows[0].Metrics {
+		if m.Name == "speedup" {
+			speedup = m.Value
+		}
+	}
+	// The paper's claim: the view bounds the scan. With 20k background
+	// tuples the bounded view must be decisively faster.
+	if speedup < 3 {
+		t.Errorf("speedup = %.2f, want >= 3", speedup)
+	}
+}
+
+func TestE6Smoke(t *testing.T) {
+	if _, err := E6ConsensusScale(ctxT(t), []int{2, 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE7Smoke(t *testing.T) {
+	if _, err := E7LindaVsSDL(ctxT(t), []int{2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE8Smoke(t *testing.T) {
+	tbl, err := E8SocietyScale(ctxT(t), []int{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Errorf("rows = %+v", tbl.Rows)
+	}
+}
+
+func TestE9Smoke(t *testing.T) {
+	if _, err := E9ConcurrencyControl(ctxT(t), []int{4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE10ShapeKeyedBeatsBroad(t *testing.T) {
+	tbl, err := E10WakeupIndex(ctxT(t), []int{300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keyedWake, broadWake float64
+	for _, m := range tbl.Rows[0].Metrics {
+		switch m.Name {
+		case "keyed wakeups":
+			keyedWake = m.Value
+		case "broad wakeups":
+			broadWake = m.Value
+		}
+	}
+	// Keyed wakeups must not balloon with unrelated commits; broad mode
+	// re-evaluates waiters on every noise commit.
+	if broadWake < 10*keyedWake {
+		t.Errorf("keyed=%v broad=%v: expected broad ≫ keyed", keyedWake, broadWake)
+	}
+}
+
+func TestE11ShapePlannerWins(t *testing.T) {
+	tbl, err := E11JoinPlanner(ctxT(t), []int{5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var written, planned float64
+	for _, m := range tbl.Rows[0].Metrics {
+		switch m.Name {
+		case "written order":
+			written = m.Value
+		case "planned":
+			planned = m.Value
+		}
+	}
+	if written < 5*planned {
+		t.Errorf("planner speedup too small: written=%.1f planned=%.1f us/txn", written, planned)
+	}
+}

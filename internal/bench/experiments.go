@@ -1,0 +1,829 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/arraysum"
+	"github.com/sdl-lang/sdl/internal/consensus"
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/linda"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/proplist"
+	"github.com/sdl-lang/sdl/internal/regionlabel"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/view"
+	"github.com/sdl-lang/sdl/internal/workload"
+)
+
+const seed = 1988 // the paper's year, used as the global workload seed
+
+func newRT(mode txn.Mode) *process.Runtime {
+	return process.NewRuntime(txn.New(dataspace.New(), mode), nil)
+}
+
+func closeRT(rt *process.Runtime) {
+	rt.Shutdown()
+	rt.Consensus().Close()
+}
+
+// E1ArraySum compares the three §3.1 summation programs.
+func E1ArraySum(ctx context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "array summation: Sum1 (consensus phases) vs Sum2 (delayed) vs Sum3 (replication)",
+		Note:  `"We find the third solution preferable … minimal control constraints"`,
+	}
+	type variant struct {
+		name string
+		run  func(context.Context, *process.Runtime, int, int64) (int64, error)
+	}
+	variants := []variant{
+		{"Sum1", arraysum.RunSum1},
+		{"Sum2", arraysum.RunSum2},
+		{"Sum3", arraysum.RunSum3},
+	}
+	for _, n := range sizes {
+		row := Row{Config: fmt.Sprintf("n=%d", n)}
+		_, want := workload.Array(n, seed)
+		for _, v := range variants {
+			rt := newRT(txn.Coarse)
+			var got int64
+			d, err := timeIt(func() error {
+				var err error
+				got, err = v.run(ctx, rt, n, seed)
+				return err
+			})
+			closeRT(rt)
+			if err != nil {
+				return nil, fmt.Errorf("E1 %s n=%d: %w", v.name, n, err)
+			}
+			if got != want {
+				return nil, fmt.Errorf("E1 %s n=%d: sum %d, want %d", v.name, n, got, want)
+			}
+			row.Metrics = append(row.Metrics, Ms(v.name, d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E2PropertyList compares Search (process-per-hop traversal) against Find
+// (content-addressable lookup) for the last property of the list.
+func E2PropertyList(ctx context.Context, lengths []int) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "property list: Search (simulated recursion) vs Find (content-addressable)",
+		Note:  `"It is unlikely the programmer would simulate the recursion when the language permits one to address data by contents"`,
+	}
+	for _, l := range lengths {
+		nodes := workload.PropertyList(l, seed)
+		target := nodes[l-1] // worst case: tail of the list
+		row := Row{Config: fmt.Sprintf("L=%d", l)}
+
+		for _, variant := range []string{"Search", "Find"} {
+			rt := newRT(txn.Coarse)
+			workload.LoadPropertyList(rt.Engine().Store(), nodes)
+			var def *process.Definition
+			var args []tuple.Value
+			if variant == "Search" {
+				def = proplist.SearchDef()
+				args = []tuple.Value{tuple.Int(nodes[0].ID), tuple.Atom(target.Name)}
+			} else {
+				def = proplist.FindDef()
+				args = []tuple.Value{tuple.Atom(target.Name)}
+			}
+			if err := rt.Define(def); err != nil {
+				closeRT(rt)
+				return nil, err
+			}
+			d, err := timeIt(func() error {
+				if _, err := rt.Spawn(def.Name, args...); err != nil {
+					return err
+				}
+				return rt.WaitCtx(ctx)
+			})
+			if err == nil {
+				if errs := rt.Errors(); len(errs) > 0 {
+					err = errs[0]
+				}
+			}
+			if err == nil {
+				val, found, present := proplist.Result(rt.Engine().Store(), target.Name)
+				if !present || !found || val != target.Value {
+					err = fmt.Errorf("wrong result %d/%v/%v", val, found, present)
+				}
+			}
+			spawned := rt.SpawnCount()
+			closeRT(rt)
+			if err != nil {
+				return nil, fmt.Errorf("E2 %s L=%d: %w", variant, l, err)
+			}
+			row.Metrics = append(row.Metrics, Ms(variant, d))
+			if variant == "Search" {
+				row.Metrics = append(row.Metrics, Count("Search procs", float64(spawned), "procs"))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E3SortConsensus measures the distributed sort with consensus-detected
+// termination.
+func E3SortConsensus(ctx context.Context, lengths []int) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "property-list sort with consensus termination",
+		Note:  `"the consensus transaction … specifies the termination of a distributed computation"`,
+	}
+	for _, l := range lengths {
+		nodes := workload.PropertyList(l, seed)
+		rt := newRT(txn.Coarse)
+		d, err := timeIt(func() error {
+			return proplist.RunSort(ctx, rt, nodes)
+		})
+		if err == nil {
+			if _, verr := proplist.Values(rt.Engine().Store(), l); verr != nil {
+				err = verr
+			}
+		}
+		fires := rt.Consensus().Fires()
+		closeRT(rt)
+		if err != nil {
+			return nil, fmt.Errorf("E3 L=%d: %w", l, err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Config: fmt.Sprintf("L=%d", l),
+			Metrics: []Metric{
+				Ms("sort", d),
+				Count("consensus fires", float64(fires), "fires"),
+			},
+		})
+	}
+	return t, nil
+}
+
+// E4RegionLabel compares the worker and community labeling models.
+func E4RegionLabel(ctx context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "region labeling: worker model vs community model",
+		Note:  `"labeled regions are not available … until the entire program completes" (worker); the community model signals per-region completion`,
+	}
+	const cut = 100
+	for _, w := range sizes {
+		im := workload.GenImage(w, w, 3, seed)
+		ref := workload.ReferenceLabels(im, cut)
+		row := Row{Config: fmt.Sprintf("%dx%d (%d regions)", w, w, workload.RegionCount(ref))}
+
+		rtW := newRT(txn.Coarse)
+		resW, err := regionlabel.RunWorker(ctx, rtW, im, cut)
+		closeRT(rtW)
+		if err != nil {
+			return nil, fmt.Errorf("E4 worker %d: %w", w, err)
+		}
+		rtC := newRT(txn.Coarse)
+		resC, err := regionlabel.RunCommunity(ctx, rtC, im, cut)
+		closeRT(rtC)
+		if err != nil {
+			return nil, fmt.Errorf("E4 community %d: %w", w, err)
+		}
+		for p := range ref {
+			if resW.Labels[p] != ref[p] || resC.Labels[p] != ref[p] {
+				return nil, fmt.Errorf("E4 %d: labeling mismatch at pixel %d", w, p)
+			}
+		}
+		row.Metrics = append(row.Metrics,
+			Ms("worker total", resW.Total),
+			Ms("community total", resC.Total),
+			Ms("worker first-region", resW.FirstRegion),
+			Ms("community first-region", resC.FirstRegion),
+		)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E5ViewScoping measures transaction latency with and without a
+// lead-bounded view while the dataspace fills with irrelevant tuples.
+func E5ViewScoping(_ context.Context, backgroundSizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "view-bounded transaction scope vs dataspace size",
+		Note:  `"the view also provides bounds on the scope of the transactions which, in turn, reduce the transaction execution time"`,
+	}
+	const workSet = 64
+	const reps = 200
+	restricted := view.New(
+		view.Union(view.Pat(pattern.P(pattern.C(tuple.Atom("work")), pattern.W()))),
+		view.Everything(),
+	)
+	// The query's leading field is a variable, so without a view the scan
+	// covers the whole arity-2 population.
+	query := pattern.Q(pattern.P(pattern.V("tag"), pattern.V("v"))).
+		Where(expr.Eq(expr.V("tag"), expr.Const(tuple.Atom("work"))))
+
+	for _, bg := range backgroundSizes {
+		s := dataspace.New()
+		e := txn.New(s, txn.Coarse)
+		for i := 0; i < workSet; i++ {
+			s.Assert(tuple.Environment, tuple.New(tuple.Atom("work"), tuple.Int(int64(i))))
+		}
+		for i := 0; i < bg; i++ {
+			s.Assert(tuple.Environment, tuple.New(tuple.Atom(fmt.Sprintf("noise%d", i%997)), tuple.Int(int64(i))))
+		}
+		measure := func(v view.View) (time.Duration, error) {
+			return timeIt(func() error {
+				for i := 0; i < reps; i++ {
+					res, err := e.Immediate(txn.Request{Proc: 1, View: v, Query: query})
+					if err != nil {
+						return err
+					}
+					if !res.OK {
+						return fmt.Errorf("query failed")
+					}
+				}
+				return nil
+			})
+		}
+		full, err := measure(view.Universal())
+		if err != nil {
+			return nil, fmt.Errorf("E5 full bg=%d: %w", bg, err)
+		}
+		bounded, err := measure(restricted)
+		if err != nil {
+			return nil, fmt.Errorf("E5 view bg=%d: %w", bg, err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Config: fmt.Sprintf("|D|=%d", bg+workSet),
+			Metrics: []Metric{
+				{Name: "full view", Value: float64(full.Microseconds()) / reps, Unit: "us/txn"},
+				{Name: "bounded view", Value: float64(bounded.Microseconds()) / reps, Unit: "us/txn"},
+				{Name: "speedup", Value: float64(full) / float64(bounded), Unit: "x"},
+			},
+		})
+	}
+	return t, nil
+}
+
+// E6ConsensusScale measures the time to detect and fire an all-process
+// consensus as the society grows.
+func E6ConsensusScale(ctx context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "consensus (quiescence) detection vs society size",
+		Note:  `"Determination that consensus has been reached is very similar to the quiescence detection problem"`,
+	}
+	for _, p := range sizes {
+		s := dataspace.New()
+		e := txn.New(s, txn.Coarse)
+		m := consensus.NewManager(e)
+		s.Assert(tuple.Environment, tuple.New(tuple.Atom("shared"), tuple.Int(1)))
+		for i := 1; i <= p; i++ {
+			m.Register(tuple.ProcessID(i), view.Universal(), nil)
+		}
+		var wg sync.WaitGroup
+		var firstErr error
+		var mu sync.Mutex
+		d, err := timeIt(func() error {
+			for i := 1; i <= p; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, err := m.Offer(ctx, txn.Request{
+						Proc:  tuple.ProcessID(i),
+						View:  view.Universal(),
+						Query: pattern.Query{Quant: pattern.Exists},
+					})
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}(i)
+			}
+			wg.Wait()
+			return firstErr
+		})
+		m.Close()
+		if err != nil {
+			return nil, fmt.Errorf("E6 p=%d: %w", p, err)
+		}
+		t.Rows = append(t.Rows, Row{
+			Config:  fmt.Sprintf("P=%d", p),
+			Metrics: []Metric{Ms("barrier", d)},
+		})
+	}
+	return t, nil
+}
+
+// E7LindaVsSDL compares compound read-modify-write throughput: Linda's
+// in/out composition against one SDL transaction, under contention.
+func E7LindaVsSDL(ctx context.Context, workerCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    "E7",
+		Title: "Linda in/out composition vs one SDL transaction (counter RMW)",
+		Note:  `"Linda provides processes with very simple dataspace access primitives (read, assert, and retract one tuple at a time)"`,
+	}
+	const opsPerWorker = 500
+	ctr := tuple.Atom("counter")
+	for _, workers := range workerCounts {
+		total := int64(workers * opsPerWorker)
+
+		// Linda: In (blocks/retracts) then Out.
+		sp := linda.NewSpace()
+		sp.Out(tuple.New(ctr, tuple.Int(0)))
+		dLinda, err := timeIt(func() error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					tmpl := linda.T().Actual(ctr).Formal("n")
+					for i := 0; i < opsPerWorker; i++ {
+						tp, err := sp.In(ctx, tmpl)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						n, _ := tp.Field(1).AsInt()
+						sp.Out(tuple.New(ctr, tuple.Int(n+1)))
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			return <-errCh
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E7 linda w=%d: %w", workers, err)
+		}
+		if got, ok := sp.Inp(linda.T().Actual(ctr).Formal("n")); !ok {
+			return nil, fmt.Errorf("E7 linda: counter missing")
+		} else if n, _ := got.Field(1).AsInt(); n != total {
+			return nil, fmt.Errorf("E7 linda: counter %d, want %d", n, total)
+		}
+
+		// SDL: one atomic transaction per increment.
+		s := dataspace.New()
+		e := txn.New(s, txn.Coarse)
+		s.Assert(tuple.Environment, tuple.New(ctr, tuple.Int(0)))
+		req := txn.Request{
+			Proc:  1,
+			View:  view.Universal(),
+			Query: pattern.Q(pattern.R(pattern.C(ctr), pattern.V("n"))),
+			Asserts: []pattern.Pattern{pattern.P(pattern.C(ctr),
+				pattern.E(expr.Add(expr.V("n"), expr.Const(tuple.Int(1)))))},
+		}
+		dSDL, err := timeIt(func() error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < opsPerWorker; i++ {
+						if _, err := e.Delayed(ctx, req); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			return <-errCh
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E7 sdl w=%d: %w", workers, err)
+		}
+		// Compound atomicity: transfer between two of 16 account tuples.
+		// Linda must retract both (acquiring in account order to avoid
+		// deadlock) and re-assert both — four primitives and a locking
+		// discipline; SDL is one two-pattern transaction.
+		const accounts = 16
+		acct := tuple.Atom("acct")
+		spT := linda.NewSpace()
+		for i := 0; i < accounts; i++ {
+			spT.Out(tuple.New(acct, tuple.Int(int64(i)), tuple.Int(100)))
+		}
+		dLindaT, err := timeIt(func() error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < opsPerWorker; i++ {
+						a := int64((w + i) % accounts)
+						b := int64((w + i + 1 + i%7) % accounts)
+						if a == b {
+							continue
+						}
+						lo, hi := a, b
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						t1, err := spT.In(ctx, linda.T().Actual(acct).Actual(tuple.Int(lo)).Formal("x"))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						t2, err := spT.In(ctx, linda.T().Actual(acct).Actual(tuple.Int(hi)).Formal("y"))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						v1, _ := t1.Field(2).AsInt()
+						v2, _ := t2.Field(2).AsInt()
+						if lo == a {
+							v1, v2 = v1-1, v2+1
+						} else {
+							v1, v2 = v1+1, v2-1
+						}
+						spT.Out(tuple.New(acct, tuple.Int(lo), tuple.Int(v1)))
+						spT.Out(tuple.New(acct, tuple.Int(hi), tuple.Int(v2)))
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			return <-errCh
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E7 linda transfer w=%d: %w", workers, err)
+		}
+
+		sT := dataspace.New()
+		eT := txn.New(sT, txn.Coarse)
+		for i := 0; i < accounts; i++ {
+			sT.Assert(tuple.Environment, tuple.New(acct, tuple.Int(int64(i)), tuple.Int(100)))
+		}
+		dSDLT, err := timeIt(func() error {
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < opsPerWorker; i++ {
+						a := int64((w + i) % accounts)
+						b := int64((w + i + 1 + i%7) % accounts)
+						if a == b {
+							continue
+						}
+						_, err := eT.Delayed(ctx, txn.Request{
+							Proc: tuple.ProcessID(w + 1),
+							View: view.Universal(),
+							Query: pattern.Q(
+								pattern.R(pattern.C(acct), pattern.C(tuple.Int(a)), pattern.V("x")),
+								pattern.R(pattern.C(acct), pattern.C(tuple.Int(b)), pattern.V("y")),
+							),
+							Asserts: []pattern.Pattern{
+								pattern.P(pattern.C(acct), pattern.C(tuple.Int(a)),
+									pattern.E(expr.Sub(expr.V("x"), expr.Const(tuple.Int(1))))),
+								pattern.P(pattern.C(acct), pattern.C(tuple.Int(b)),
+									pattern.E(expr.Add(expr.V("y"), expr.Const(tuple.Int(1))))),
+							},
+						})
+						if err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errCh)
+			return <-errCh
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E7 sdl transfer w=%d: %w", workers, err)
+		}
+		// Conservation check on both kernels.
+		var lindaSum, sdlSum int64
+		for i := 0; i < accounts; i++ {
+			tp, ok := spT.Inp(linda.T().Actual(acct).Actual(tuple.Int(int64(i))).Formal("v"))
+			if !ok {
+				return nil, fmt.Errorf("E7 linda transfer: account %d missing", i)
+			}
+			v, _ := tp.Field(2).AsInt()
+			lindaSum += v
+		}
+		sT.Snapshot(func(r dataspace.Reader) {
+			r.Each(func(inst dataspace.Instance) bool {
+				v, _ := inst.Tuple.Field(2).AsInt()
+				sdlSum += v
+				return true
+			})
+		})
+		if lindaSum != accounts*100 || sdlSum != accounts*100 {
+			return nil, fmt.Errorf("E7 transfer: money not conserved (linda=%d sdl=%d)", lindaSum, sdlSum)
+		}
+
+		t.Rows = append(t.Rows, Row{
+			Config: fmt.Sprintf("workers=%d ops=%d", workers, total),
+			Metrics: []Metric{
+				{Name: "Linda ctr", Value: float64(total) / dLinda.Seconds() / 1000, Unit: "kops/s"},
+				{Name: "SDL ctr", Value: float64(total) / dSDL.Seconds() / 1000, Unit: "kops/s"},
+				{Name: "Linda xfer", Value: float64(total) / dLindaT.Seconds() / 1000, Unit: "kops/s"},
+				{Name: "SDL xfer", Value: float64(total) / dSDLT.Seconds() / 1000, Unit: "kops/s"},
+			},
+		})
+	}
+	return t, nil
+}
+
+// E8SocietyScale measures spawning and waking large societies of blocked
+// processes — the paper's "many thousands of concurrent processes".
+func E8SocietyScale(ctx context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E8",
+		Title: "society scale: blocked-process count vs spawn time, wake time, memory",
+		Note:  `"programs involving many thousands of concurrent processes"`,
+	}
+	for _, p := range sizes {
+		rt := newRT(txn.Coarse)
+		// Waiter(i): one delayed transaction on its own key.
+		if err := rt.Define(&process.Definition{
+			Name:   "Waiter",
+			Params: []string{"i"},
+			Body: []process.Stmt{process.Transact{
+				Kind:  process.Delayed,
+				Query: pattern.Q(pattern.R(pattern.V("i"), pattern.C(tuple.Atom("go")))),
+				Asserts: []pattern.Pattern{pattern.P(
+					pattern.V("i"), pattern.C(tuple.Atom("done")))},
+			}},
+		}); err != nil {
+			closeRT(rt)
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		dSpawn, err := timeIt(func() error {
+			for i := 0; i < p; i++ {
+				if _, err := rt.Spawn("Waiter", tuple.Int(int64(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			closeRT(rt)
+			return nil, fmt.Errorf("E8 spawn p=%d: %w", p, err)
+		}
+		// Let the society block.
+		for rt.Running() != int64(p) {
+			runtime.Gosched()
+		}
+		runtime.ReadMemStats(&after)
+		perProc := float64(after.HeapAlloc-before.HeapAlloc) / float64(p)
+
+		s := rt.Engine().Store()
+		dWake, err := timeIt(func() error {
+			batch := make([]tuple.Tuple, 0, p)
+			for i := 0; i < p; i++ {
+				batch = append(batch, tuple.New(tuple.Int(int64(i)), tuple.Atom("go")))
+			}
+			s.Assert(tuple.Environment, batch...)
+			return rt.WaitCtx(ctx)
+		})
+		if err != nil {
+			closeRT(rt)
+			return nil, fmt.Errorf("E8 wake p=%d: %w", p, err)
+		}
+		if s.Len() != p {
+			closeRT(rt)
+			return nil, fmt.Errorf("E8 p=%d: %d done tuples, want %d", p, s.Len(), p)
+		}
+		closeRT(rt)
+		t.Rows = append(t.Rows, Row{
+			Config: fmt.Sprintf("P=%d", p),
+			Metrics: []Metric{
+				Ms("spawn all", dSpawn),
+				Ms("wake+drain all", dWake),
+				{Name: "heap/proc", Value: perProc / 1024, Unit: "KiB"},
+			},
+		})
+	}
+	return t, nil
+}
+
+// E10WakeupIndex is the ablation for DESIGN.md decision 2: interest-keyed
+// wakeups vs waking every blocked transaction on every commit. P processes
+// block on distinct keys while a writer commits `noise` unrelated tuples;
+// keyed wakeups should leave the waiters asleep (zero spurious
+// re-evaluations), while broad wakeups re-evaluate all P waiters on every
+// commit.
+func E10WakeupIndex(ctx context.Context, waiterCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "ablation: interest-keyed vs broad delayed-transaction wakeups",
+		Note:  "design decision 2 in DESIGN.md",
+	}
+	const noise = 300
+	for _, p := range waiterCounts {
+		row := Row{Config: fmt.Sprintf("waiters=%d noise=%d", p, noise)}
+		for _, broad := range []bool{false, true} {
+			s := dataspace.New()
+			s.SetBroadWakeups(broad)
+			e := txn.New(s, txn.Coarse)
+			var wg sync.WaitGroup
+			errCh := make(chan error, p)
+			for i := 0; i < p; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, err := e.Delayed(ctx, txn.Request{
+						Proc:  tuple.ProcessID(i + 1),
+						View:  view.Universal(),
+						Query: pattern.Q(pattern.R(pattern.C(tuple.Int(int64(i))), pattern.C(tuple.Atom("go")))),
+					})
+					if err != nil {
+						errCh <- err
+					}
+				}(i)
+			}
+			// Let every waiter run its first (failing) attempt and block.
+			for int(e.Stats().Attempts) < p {
+				runtime.Gosched()
+			}
+			d, err := timeIt(func() error {
+				for i := 0; i < noise; i++ {
+					s.Assert(tuple.Environment, tuple.New(tuple.Atom("noise"), tuple.Int(int64(i))))
+					// Let woken waiters re-register between commits, as
+					// they would under real interleaving.
+					runtime.Gosched()
+				}
+				// Release everyone and drain.
+				batch := make([]tuple.Tuple, 0, p)
+				for i := 0; i < p; i++ {
+					batch = append(batch, tuple.New(tuple.Int(int64(i)), tuple.Atom("go")))
+				}
+				s.Assert(tuple.Environment, batch...)
+				wg.Wait()
+				close(errCh)
+				return <-errCh
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E10 broad=%v p=%d: %w", broad, p, err)
+			}
+			name := "keyed"
+			if broad {
+				name = "broad"
+			}
+			st := e.Stats()
+			row.Metrics = append(row.Metrics,
+				Ms(name, d),
+				Count(name+" wakeups", float64(st.Wakeups), "wakeups"),
+			)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E11JoinPlanner is the ablation for the query matcher's boundness-based
+// join planner: a region-labeling-style propagation query written in an
+// unfavourable order (the unbounded label scan first, the parameter-led
+// pattern last) is issued against stores of growing size, with the planner
+// on (PlanAuto) and off (PlanWritten).
+func E11JoinPlanner(_ context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "ablation: join planner (boundness ordering) on a propagation query",
+		Note:  "the 'sophisticated language implementation' §3.1 calls for",
+	}
+	const reps = 100
+	label := tuple.Atom("label")
+	for _, n := range sizes {
+		s := dataspace.New()
+		e := txn.New(s, txn.Coarse)
+		for i := int64(0); i < int64(n); i++ {
+			s.Assert(tuple.Environment,
+				tuple.New(tuple.Int(i), label, tuple.Int(i)),
+				tuple.New(tuple.Int(i), tuple.Int((i+1)%int64(n))),
+			)
+		}
+		// Propagation for pixel r, written label-scan-first: find a
+		// neighbour q of r whose label exceeds r's.
+		mkQuery := func(plan pattern.Plan) pattern.Query {
+			q := pattern.Q(
+				pattern.P(pattern.V("q"), pattern.C(label), pattern.V("lq")),
+				pattern.P(pattern.V("r"), pattern.C(label), pattern.V("lr")).
+					Guarded(expr.Lt(expr.V("lr"), expr.V("lq"))),
+				pattern.P(pattern.V("r"), pattern.V("q")),
+			)
+			q.Plan = plan
+			return q
+		}
+		row := Row{Config: fmt.Sprintf("n=%d", n)}
+		for _, plan := range []pattern.Plan{pattern.PlanWritten, pattern.PlanAuto} {
+			req := txn.Request{
+				Proc:  1,
+				View:  view.Universal(),
+				Env:   expr.Env{"r": tuple.Int(3)},
+				Query: mkQuery(plan),
+			}
+			d, err := timeIt(func() error {
+				for i := 0; i < reps; i++ {
+					res, err := e.Immediate(req)
+					if err != nil {
+						return err
+					}
+					if !res.OK {
+						return fmt.Errorf("propagation query failed")
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E11 plan=%d n=%d: %w", plan, n, err)
+			}
+			name := "written order"
+			if plan == pattern.PlanAuto {
+				name = "planned"
+			}
+			row.Metrics = append(row.Metrics, Metric{
+				Name: name, Value: float64(d.Microseconds()) / reps, Unit: "us/txn"})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E9ConcurrencyControl compares the coarse and optimistic engines on a
+// read-mostly workload (the ablation DESIGN.md calls out).
+func E9ConcurrencyControl(_ context.Context, workerCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "ablation: coarse lock vs optimistic validation (95% read workload)",
+		Note:  "design decision 1 in DESIGN.md",
+	}
+	const opsPerWorker = 5000
+	for _, workers := range workerCounts {
+		row := Row{Config: fmt.Sprintf("workers=%d", workers)}
+		for _, mode := range []txn.Mode{txn.Coarse, txn.Optimistic} {
+			s := dataspace.New()
+			e := txn.New(s, mode)
+			for i := 0; i < 512; i++ {
+				s.Assert(tuple.Environment, tuple.New(tuple.Atom("item"), tuple.Int(int64(i))))
+			}
+			readReq := txn.Request{
+				Proc: 1,
+				View: view.Universal(),
+				Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("item")), pattern.V("v"))).
+					Where(expr.Ge(expr.V("v"), expr.Const(tuple.Int(400)))),
+			}
+			writeReq := txn.Request{
+				Proc:  1,
+				View:  view.Universal(),
+				Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("item")), pattern.V("v"))),
+				Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("item")),
+					pattern.V("v"))},
+			}
+			d, err := timeIt(func() error {
+				var wg sync.WaitGroup
+				errCh := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < opsPerWorker; i++ {
+							req := readReq
+							if i%20 == 0 { // 5% writes
+								req = writeReq
+							}
+							if _, err := e.Immediate(req); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(errCh)
+				return <-errCh
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E9 %v w=%d: %w", mode, workers, err)
+			}
+			total := float64(workers * opsPerWorker)
+			row.Metrics = append(row.Metrics, Metric{
+				Name: mode.String(), Value: total / d.Seconds() / 1000, Unit: "kops/s"})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+package dataspace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Checkpoint format: a small header followed by one record per tuple
+// instance. The format is deterministic (records sorted by instance ID) so
+// identical configurations produce identical bytes.
+//
+//	header := magic "SDLD" version(uvarint) storeVersion(uvarint) count(uvarint)
+//	record := id(uvarint) owner(uvarint) tuple
+var (
+	checkpointMagic = [4]byte{'S', 'D', 'L', 'D'}
+
+	// ErrBadCheckpoint reports a malformed or unsupported checkpoint.
+	ErrBadCheckpoint = errors.New("dataspace: bad checkpoint")
+)
+
+const checkpointVersion = 1
+
+// WriteCheckpoint serializes the current configuration. The checkpoint
+// captures tuple contents, instance IDs, owners, and the store version —
+// enough to resume a stopped computation or to diff two configurations.
+func (s *Store) WriteCheckpoint(w io.Writer) error {
+	s.mu.RLock()
+	insts := make([]Instance, 0, len(s.entries))
+	for id, e := range s.entries {
+		insts = append(insts, Instance{ID: id, Tuple: e.t, Owner: e.owner})
+	}
+	version := s.version
+	s.mu.RUnlock()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].ID < insts[j].ID })
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	buf = binary.AppendUvarint(buf, checkpointVersion)
+	buf = binary.AppendUvarint(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(len(insts)))
+	for _, inst := range insts {
+		buf = binary.AppendUvarint(buf, uint64(inst.ID))
+		buf = binary.AppendUvarint(buf, uint64(inst.Owner))
+		buf = tuple.AppendTuple(buf, inst.Tuple)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint restores a configuration written by WriteCheckpoint into
+// an empty store. It fails if the store already contains tuples (restoring
+// into live state would corrupt instance identity).
+func (s *Store) ReadCheckpoint(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) != 0 {
+		return fmt.Errorf("%w: store not empty", ErrBadCheckpoint)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if len(data) < 4 || [4]byte(data[:4]) != checkpointMagic {
+		return fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	data = data[4:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: truncated varint", ErrBadCheckpoint)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	fv, err := next()
+	if err != nil {
+		return err
+	}
+	if fv != checkpointVersion {
+		return fmt.Errorf("%w: unsupported format version %d", ErrBadCheckpoint, fv)
+	}
+	storeVersion, err := next()
+	if err != nil {
+		return err
+	}
+	count, err := next()
+	if err != nil {
+		return err
+	}
+	var maxID uint64
+	for i := uint64(0); i < count; i++ {
+		id, err := next()
+		if err != nil {
+			return err
+		}
+		owner, err := next()
+		if err != nil {
+			return err
+		}
+		t, n, terr := tuple.DecodeTuple(data)
+		if terr != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrBadCheckpoint, i, terr)
+		}
+		data = data[n:]
+		if _, dup := s.entries[tuple.ID(id)]; dup {
+			return fmt.Errorf("%w: duplicate instance %d", ErrBadCheckpoint, id)
+		}
+		s.entries[tuple.ID(id)] = entry{t: t, owner: tuple.ProcessID(owner)}
+		s.indexAdd(tuple.ID(id), t)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(data))
+	}
+	s.version = storeVersion
+	// Future IDs must not collide with restored instances.
+	for {
+		cur := s.nextID.Load()
+		if cur >= maxID || s.nextID.CompareAndSwap(cur, maxID) {
+			break
+		}
+	}
+	return nil
+}

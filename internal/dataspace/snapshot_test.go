@@ -1,0 +1,155 @@
+package dataspace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := New()
+	ids := s.Assert(3, year(85), year(90))
+	s.Assert(7, tuple.New(tuple.Atom("x"), tuple.Float(1.5), tuple.String("s"), tuple.Bool(true)))
+	_ = s.Update(3, func(w Writer) error { return w.Delete(ids[0]) })
+
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New()
+	if err := s2.ReadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() || s2.Version() != s.Version() {
+		t.Errorf("len/version = %d/%d, want %d/%d", s2.Len(), s2.Version(), s.Len(), s.Version())
+	}
+	// Same instances, same IDs, same owners.
+	orig := map[tuple.ID]Instance{}
+	for _, inst := range s.All() {
+		orig[inst.ID] = inst
+	}
+	for _, inst := range s2.All() {
+		want, ok := orig[inst.ID]
+		if !ok || !want.Tuple.Equal(inst.Tuple) || want.Owner != inst.Owner {
+			t.Errorf("instance %d mismatch: %+v vs %+v", inst.ID, inst, want)
+		}
+	}
+	// New inserts must not reuse restored IDs.
+	newIDs := s2.Assert(1, year(99))
+	if _, dup := orig[newIDs[0]]; dup {
+		t.Errorf("restored store reused instance ID %d", newIDs[0])
+	}
+	// Restored indexes must serve scans.
+	s2.Snapshot(func(r Reader) {
+		if got := collect(r, 2, tuple.Atom("year"), true); len(got) != 2 {
+			t.Errorf("scan after restore = %d", len(got))
+		}
+	})
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	s := New()
+	s.Assert(1, year(1), year(2), year(3))
+	var a, b bytes.Buffer
+	if err := s.WriteCheckpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("checkpoints of the same configuration differ")
+	}
+}
+
+func TestCheckpointEmptyStore(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.ReadCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 0 {
+		t.Errorf("len = %d", s2.Len())
+	}
+}
+
+func TestCheckpointErrors(t *testing.T) {
+	// Not empty.
+	full := New()
+	full.Assert(1, year(1))
+	var good bytes.Buffer
+	if err := New().WriteCheckpoint(&good); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.ReadCheckpoint(&good); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("non-empty restore: %v", err)
+	}
+	// Bad magic / truncation / trailing garbage.
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SDLD"),
+		append([]byte("SDLD"), 99), // unsupported format version
+	}
+	for i, data := range cases {
+		if err := New().ReadCheckpoint(bytes.NewReader(data)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	// Trailing bytes.
+	s := New()
+	s.Assert(1, year(1))
+	var buf bytes.Buffer
+	if err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0)
+	if err := New().ReadCheckpoint(&buf); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("trailing: %v", err)
+	}
+}
+
+// Property: checkpoint round trip preserves the multiset exactly.
+func TestQuickCheckpointRoundTrip(t *testing.T) {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(21)), MaxCount: 25}
+	f := func(raw []uint8) bool {
+		s := New()
+		for _, r := range raw {
+			s.Assert(tuple.ProcessID(r%5), tuple.New(tuple.Int(int64(r%7)), tuple.Int(int64(r))))
+		}
+		var buf bytes.Buffer
+		if err := s.WriteCheckpoint(&buf); err != nil {
+			return false
+		}
+		s2 := New()
+		if err := s2.ReadCheckpoint(&buf); err != nil {
+			return false
+		}
+		if s2.Len() != s.Len() {
+			return false
+		}
+		want := map[tuple.ID]Instance{}
+		for _, inst := range s.All() {
+			want[inst.ID] = inst
+		}
+		for _, inst := range s2.All() {
+			w, ok := want[inst.ID]
+			if !ok || !w.Tuple.Equal(inst.Tuple) || w.Owner != inst.Owner {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

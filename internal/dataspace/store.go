@@ -1,0 +1,401 @@
+// Package dataspace implements the SDL dataspace: a content-addressable
+// multiset of tuples examined and altered by atomic transactions. The store
+// provides:
+//
+//   - indexed scans (arity + leading-field value) implementing
+//     pattern.Source;
+//   - snapshot/update execution under a readers-writer lock, so a whole
+//     transaction evaluates against one consistent configuration;
+//   - a monotonically increasing version, bumped once per mutating commit;
+//   - interest-keyed wakeups for delayed transactions: a blocked
+//     transaction registers the (arity, lead) keys its binding query can
+//     match and is woken only by commits that touch those keys.
+//
+// Tuple instances carry unique identifiers and record the asserting
+// process, per the paper ("each tuple is owned by the process that asserted
+// it and the owner may be determined by examining the unique tuple
+// identifier").
+package dataspace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// ErrNoSuchTuple reports a retraction of a tuple instance that is not in
+// the dataspace (already retracted by a concurrent transaction).
+var ErrNoSuchTuple = errors.New("dataspace: no such tuple instance")
+
+// entry is one stored tuple instance.
+type entry struct {
+	t     tuple.Tuple
+	owner tuple.ProcessID
+}
+
+// leadClass canonicalizes a value for index keys so that values that are
+// Equal (e.g. Int(2) and Float(2.0)) index identically.
+type leadClass uint8
+
+const (
+	leadNumber leadClass = iota + 1
+	leadAtom
+	leadString
+	leadBool
+	leadOther
+)
+
+// leadKey is the comparable canonical form of a leading field value.
+type leadKey struct {
+	class leadClass
+	num   float64
+	str   string
+}
+
+func canonLead(v tuple.Value) leadKey {
+	if n, ok := v.Numeric(); ok {
+		return leadKey{class: leadNumber, num: n}
+	}
+	if a, ok := v.AsAtom(); ok {
+		return leadKey{class: leadAtom, str: a}
+	}
+	if s, ok := v.AsString(); ok {
+		return leadKey{class: leadString, str: s}
+	}
+	if b, ok := v.AsBool(); ok {
+		k := leadKey{class: leadBool}
+		if b {
+			k.num = 1
+		}
+		return k
+	}
+	return leadKey{class: leadOther}
+}
+
+// indexKey addresses one bucket of the lead index.
+type indexKey struct {
+	arity int
+	lead  leadKey
+}
+
+// Store is the shared dataspace. The zero value is not usable; construct
+// with New.
+type Store struct {
+	nextID atomic.Uint64
+
+	mu      sync.RWMutex
+	entries map[tuple.ID]entry
+	byArity map[int]map[tuple.ID]struct{}
+	byLead  map[indexKey]map[tuple.ID]struct{}
+	version uint64
+
+	waiters  waiterRegistry
+	stats    Stats
+	onCommit []CommitHook
+}
+
+// Stats counts dataspace activity; retrieved via Store.Stats.
+type Stats struct {
+	Asserts  uint64 // tuple instances inserted
+	Retracts uint64 // tuple instances deleted
+	Commits  uint64 // mutating commits
+}
+
+// CommitHook observes committed mutations (used by the trace subsystem).
+// Hooks run under the store's write lock and must not call back into the
+// store.
+type CommitHook func(rec CommitRecord)
+
+// CommitRecord describes one committed mutation batch.
+type CommitRecord struct {
+	Version  uint64
+	Owner    tuple.ProcessID
+	Inserted []Instance
+	Deleted  []Instance
+}
+
+// Instance pairs a tuple with its instance identifier and owner.
+type Instance struct {
+	ID    tuple.ID
+	Tuple tuple.Tuple
+	Owner tuple.ProcessID
+}
+
+// New returns an empty dataspace.
+func New() *Store {
+	return &Store{
+		entries: make(map[tuple.ID]entry),
+		byArity: make(map[int]map[tuple.ID]struct{}),
+		byLead:  make(map[indexKey]map[tuple.ID]struct{}),
+	}
+}
+
+// OnCommit registers a hook invoked for every mutating commit. Must be
+// called before the store is shared between goroutines.
+func (s *Store) OnCommit(h CommitHook) {
+	s.onCommit = append(s.onCommit, h)
+}
+
+// Reader provides read access to one consistent dataspace configuration.
+// It implements pattern.Source. Readers are only valid inside the callback
+// that received them.
+type Reader interface {
+	// Scan implements pattern.Source over the live index.
+	Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool)
+	// Get returns the tuple instance with the given ID.
+	Get(id tuple.ID) (Instance, bool)
+	// Each calls fn for every tuple instance in the configuration, in
+	// unspecified order, stopping early when fn returns false.
+	Each(fn func(Instance) bool)
+	// Arities returns the tuple arities currently present, in unspecified
+	// order. Views use it to materialize imports bucket by bucket.
+	Arities() []int
+	// Version returns the configuration version.
+	Version() uint64
+	// Len returns the number of tuple instances.
+	Len() int
+}
+
+// Writer extends Reader with mutation. Mutations take effect immediately
+// (within the update callback) and are published as one commit when the
+// callback returns nil.
+type Writer interface {
+	Reader
+	// Insert adds a tuple instance owned by owner and returns its ID.
+	Insert(t tuple.Tuple, owner tuple.ProcessID) tuple.ID
+	// Delete removes the tuple instance with the given ID; it returns
+	// ErrNoSuchTuple if absent.
+	Delete(id tuple.ID) error
+}
+
+// reader/writer implement the interfaces over a locked store.
+type reader struct{ s *Store }
+
+type writer struct {
+	reader
+	owner    tuple.ProcessID
+	inserted []Instance
+	deleted  []Instance
+}
+
+var (
+	_ Reader = reader{}
+	_ Writer = (*writer)(nil)
+)
+
+// Snapshot runs fn with read access to a consistent configuration. Scans
+// within fn are reentrant (the lock is held once, here).
+func (s *Store) Snapshot(fn func(r Reader)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(reader{s: s})
+}
+
+// Update runs fn with exclusive access. If fn returns nil, its mutations
+// are committed: the version is bumped (when anything changed), waiters
+// whose interest keys intersect the written keys are woken, and commit
+// hooks run. If fn returns an error, mutations made through the writer are
+// rolled back and the error is returned.
+func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
+	s.mu.Lock()
+	w := &writer{reader: reader{s: s}, owner: owner}
+	err := fn(w)
+	if err != nil {
+		w.rollback()
+		s.mu.Unlock()
+		return err
+	}
+	var rec CommitRecord
+	changed := len(w.inserted) > 0 || len(w.deleted) > 0
+	if changed {
+		s.version++
+		s.stats.Commits++
+		s.stats.Asserts += uint64(len(w.inserted))
+		s.stats.Retracts += uint64(len(w.deleted))
+		rec = CommitRecord{
+			Version:  s.version,
+			Owner:    owner,
+			Inserted: w.inserted,
+			Deleted:  w.deleted,
+		}
+		for _, h := range s.onCommit {
+			h(rec)
+		}
+	}
+	s.mu.Unlock()
+	if changed {
+		s.waiters.notify(rec)
+	}
+	return nil
+}
+
+// Version returns the current configuration version.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Len returns the current number of tuple instances.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Assert inserts tuples outside any transaction (initial dataspace
+// contents, tests). It returns the new instance IDs.
+func (s *Store) Assert(owner tuple.ProcessID, ts ...tuple.Tuple) []tuple.ID {
+	ids := make([]tuple.ID, len(ts))
+	_ = s.Update(owner, func(w Writer) error {
+		for i, t := range ts {
+			ids[i] = w.Insert(t, owner)
+		}
+		return nil
+	})
+	return ids
+}
+
+// All returns every instance currently in the dataspace (test helper and
+// trace support); order is unspecified.
+func (s *Store) All() []Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Instance, 0, len(s.entries))
+	for id, e := range s.entries {
+		out = append(out, Instance{ID: id, Tuple: e.t, Owner: e.owner})
+	}
+	return out
+}
+
+// --- reader ---
+
+func (r reader) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
+	s := r.s
+	var ids map[tuple.ID]struct{}
+	if leadKnown {
+		ids = s.byLead[indexKey{arity: arity, lead: canonLead(lead)}]
+	} else {
+		ids = s.byArity[arity]
+	}
+	for id := range ids {
+		e := s.entries[id]
+		if !fn(id, e.t) {
+			return
+		}
+	}
+}
+
+func (r reader) Get(id tuple.ID) (Instance, bool) {
+	e, ok := r.s.entries[id]
+	if !ok {
+		return Instance{}, false
+	}
+	return Instance{ID: id, Tuple: e.t, Owner: e.owner}, true
+}
+
+func (r reader) Each(fn func(Instance) bool) {
+	for id, e := range r.s.entries {
+		if !fn(Instance{ID: id, Tuple: e.t, Owner: e.owner}) {
+			return
+		}
+	}
+}
+
+func (r reader) Arities() []int {
+	out := make([]int, 0, len(r.s.byArity))
+	for a := range r.s.byArity {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (r reader) Version() uint64 { return r.s.version }
+
+func (r reader) Len() int { return len(r.s.entries) }
+
+// --- writer ---
+
+func (w *writer) Insert(t tuple.Tuple, owner tuple.ProcessID) tuple.ID {
+	s := w.s
+	id := tuple.ID(s.nextID.Add(1))
+	s.entries[id] = entry{t: t, owner: owner}
+	s.indexAdd(id, t)
+	w.inserted = append(w.inserted, Instance{ID: id, Tuple: t, Owner: owner})
+	return id
+}
+
+func (w *writer) Delete(id tuple.ID) error {
+	s := w.s
+	e, ok := s.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchTuple, id)
+	}
+	delete(s.entries, id)
+	s.indexRemove(id, e.t)
+	w.deleted = append(w.deleted, Instance{ID: id, Tuple: e.t, Owner: e.owner})
+	return nil
+}
+
+// rollback undoes the writer's mutations (fn returned an error).
+func (w *writer) rollback() {
+	s := w.s
+	for _, ins := range w.inserted {
+		if _, ok := s.entries[ins.ID]; ok {
+			delete(s.entries, ins.ID)
+			s.indexRemove(ins.ID, ins.Tuple)
+		}
+	}
+	for _, del := range w.deleted {
+		s.entries[del.ID] = entry{t: del.Tuple, owner: del.Owner}
+		s.indexAdd(del.ID, del.Tuple)
+	}
+}
+
+func (s *Store) indexAdd(id tuple.ID, t tuple.Tuple) {
+	a := t.Arity()
+	byA := s.byArity[a]
+	if byA == nil {
+		byA = make(map[tuple.ID]struct{})
+		s.byArity[a] = byA
+	}
+	byA[id] = struct{}{}
+	if a > 0 {
+		k := indexKey{arity: a, lead: canonLead(t.Field(0))}
+		byL := s.byLead[k]
+		if byL == nil {
+			byL = make(map[tuple.ID]struct{})
+			s.byLead[k] = byL
+		}
+		byL[id] = struct{}{}
+	}
+}
+
+func (s *Store) indexRemove(id tuple.ID, t tuple.Tuple) {
+	a := t.Arity()
+	if byA := s.byArity[a]; byA != nil {
+		delete(byA, id)
+		if len(byA) == 0 {
+			delete(s.byArity, a)
+		}
+	}
+	if a > 0 {
+		k := indexKey{arity: a, lead: canonLead(t.Field(0))}
+		if byL := s.byLead[k]; byL != nil {
+			delete(byL, id)
+			if len(byL) == 0 {
+				delete(s.byLead, k)
+			}
+		}
+	}
+}

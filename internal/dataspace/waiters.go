@@ -1,0 +1,165 @@
+package dataspace
+
+import (
+	"sync"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// InterestKey describes the tuples a blocked (delayed) transaction could
+// match: an arity plus, when known, the required leading-field value. A key
+// with LeadKnown=false subscribes to every change among tuples of that
+// arity.
+type InterestKey struct {
+	Arity     int
+	Lead      tuple.Value
+	LeadKnown bool
+}
+
+// waiter is one registered wakeup target. Its channel is closed at most
+// once, by the first relevant commit.
+type waiter struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (w *waiter) fire() { w.once.Do(func() { close(w.ch) }) }
+
+// waiterRegistry indexes waiters by interest key. The zero value is ready
+// to use.
+type waiterRegistry struct {
+	mu      sync.Mutex
+	byKey   map[indexKey]map[*waiter]struct{}
+	byArity map[int]map[*waiter]struct{}
+	broad   bool
+}
+
+// SetBroadWakeups disables interest-keyed wakeups: every commit wakes
+// every waiter, as a naive implementation would. This exists solely for
+// the E10 ablation benchmark; call it before the store is shared.
+func (s *Store) SetBroadWakeups(broad bool) {
+	s.waiters.mu.Lock()
+	s.waiters.broad = broad
+	s.waiters.mu.Unlock()
+}
+
+// Wait registers interest in the given keys and returns a channel that is
+// closed by the first commit touching any of them, plus a cancel function
+// that must be called to release the registration (idempotent, safe after
+// the wakeup fired).
+//
+// To avoid lost wakeups, callers must register BEFORE evaluating the query
+// that may block: any commit after registration fires the channel, so a
+// change racing with the evaluation is never missed.
+func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
+	w := &waiter{ch: make(chan struct{})}
+	r := &s.waiters
+	r.mu.Lock()
+	if r.byKey == nil {
+		r.byKey = make(map[indexKey]map[*waiter]struct{})
+		r.byArity = make(map[int]map[*waiter]struct{})
+	}
+	var regKeys []indexKey
+	var regArities []int
+	for _, k := range keys {
+		if k.LeadKnown {
+			ik := indexKey{arity: k.Arity, lead: canonLead(k.Lead)}
+			set := r.byKey[ik]
+			if set == nil {
+				set = make(map[*waiter]struct{})
+				r.byKey[ik] = set
+			}
+			set[w] = struct{}{}
+			regKeys = append(regKeys, ik)
+		} else {
+			set := r.byArity[k.Arity]
+			if set == nil {
+				set = make(map[*waiter]struct{})
+				r.byArity[k.Arity] = set
+			}
+			set[w] = struct{}{}
+			regArities = append(regArities, k.Arity)
+		}
+	}
+	r.mu.Unlock()
+
+	cancel := func() {
+		r.mu.Lock()
+		for _, ik := range regKeys {
+			if set := r.byKey[ik]; set != nil {
+				delete(set, w)
+				if len(set) == 0 {
+					delete(r.byKey, ik)
+				}
+			}
+		}
+		for _, a := range regArities {
+			if set := r.byArity[a]; set != nil {
+				delete(set, w)
+				if len(set) == 0 {
+					delete(r.byArity, a)
+				}
+			}
+		}
+		r.mu.Unlock()
+	}
+	return w.ch, cancel
+}
+
+// notify wakes every waiter whose interest intersects the commit record
+// (or every waiter, in the ablation's broad mode).
+func (r *waiterRegistry) notify(rec CommitRecord) {
+	r.mu.Lock()
+	var fired []*waiter
+	if r.broad {
+		for _, set := range r.byKey {
+			for w := range set {
+				fired = append(fired, w)
+			}
+		}
+		for _, set := range r.byArity {
+			for w := range set {
+				fired = append(fired, w)
+			}
+		}
+		r.mu.Unlock()
+		for _, w := range fired {
+			w.fire()
+		}
+		return
+	}
+	collect := func(inst Instance) {
+		a := inst.Tuple.Arity()
+		if set := r.byArity[a]; set != nil {
+			for w := range set {
+				fired = append(fired, w)
+			}
+		}
+		if a > 0 {
+			ik := indexKey{arity: a, lead: canonLead(inst.Tuple.Field(0))}
+			if set := r.byKey[ik]; set != nil {
+				for w := range set {
+					fired = append(fired, w)
+				}
+			}
+		}
+	}
+	for _, inst := range rec.Inserted {
+		collect(inst)
+	}
+	for _, inst := range rec.Deleted {
+		collect(inst)
+	}
+	r.mu.Unlock()
+	for _, w := range fired {
+		w.fire()
+	}
+}
+
+// InterestOf derives the interest keys for a set of (arity, lead) pattern
+// descriptors. It is a convenience for the transaction engine, which knows
+// each pattern's arity and — under the issuing environment — whether the
+// leading field is determined.
+func InterestOf(arity int, lead tuple.Value, leadKnown bool) InterestKey {
+	return InterestKey{Arity: arity, Lead: lead, LeadKnown: leadKnown}
+}

@@ -1,0 +1,310 @@
+package expr
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func mustEval(t *testing.T, e Expr, env Env) tuple.Value {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v
+}
+
+func TestArithmeticInt(t *testing.T) {
+	env := Env{"a": tuple.Int(10), "b": tuple.Int(3)}
+	tests := []struct {
+		e    Expr
+		want tuple.Value
+	}{
+		{Add(V("a"), V("b")), tuple.Int(13)},
+		{Sub(V("a"), V("b")), tuple.Int(7)},
+		{Mul(V("a"), V("b")), tuple.Int(30)},
+		{Div(V("a"), V("b")), tuple.Int(3)},
+		{Mod(V("a"), V("b")), tuple.Int(1)},
+		{Neg(V("a")), tuple.Int(-10)},
+	}
+	for _, tc := range tests {
+		if got := mustEval(t, tc.e, env); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestArithmeticMixed(t *testing.T) {
+	env := Env{"a": tuple.Int(10), "f": tuple.Float(2.5)}
+	got := mustEval(t, Add(V("a"), V("f")), env)
+	if got != tuple.Float(12.5) {
+		t.Errorf("10 + 2.5 = %v", got)
+	}
+	got = mustEval(t, Div(V("f"), Const(tuple.Float(0.5))), env)
+	if got != tuple.Float(5.0) {
+		t.Errorf("2.5 / 0.5 = %v", got)
+	}
+	got = mustEval(t, Neg(V("f")), env)
+	if got != tuple.Float(-2.5) {
+		t.Errorf("-2.5 = %v", got)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	env := Env{"s": tuple.String("ab")}
+	got := mustEval(t, Add(V("s"), Const(tuple.String("cd"))), env)
+	if got != tuple.String("abcd") {
+		t.Errorf("concat = %v", got)
+	}
+}
+
+func TestDivideByZero(t *testing.T) {
+	for _, e := range []Expr{
+		Div(Const(tuple.Int(1)), Const(tuple.Int(0))),
+		Mod(Const(tuple.Int(1)), Const(tuple.Int(0))),
+		Div(Const(tuple.Float(1)), Const(tuple.Float(0))),
+	} {
+		if _, err := e.Eval(nil); !errors.Is(err, ErrDivZero) {
+			t.Errorf("%s: err = %v, want ErrDivZero", e, err)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	env := Env{"x": tuple.Int(90)}
+	tests := []struct {
+		e    Expr
+		want bool
+	}{
+		{Gt(V("x"), Const(tuple.Int(87))), true},
+		{Ge(V("x"), Const(tuple.Int(90))), true},
+		{Lt(V("x"), Const(tuple.Int(87))), false},
+		{Le(V("x"), Const(tuple.Int(90))), true},
+		{Eq(V("x"), Const(tuple.Float(90.0))), true},
+		{Ne(V("x"), Const(tuple.Int(87))), true},
+		{Eq(Const(tuple.Atom("nil")), Const(tuple.Atom("nil"))), true},
+		{Ne(Const(tuple.Atom("a")), Const(tuple.Atom("b"))), true},
+	}
+	for _, tc := range tests {
+		got, err := EvalBool(tc.e, env)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.e, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	// The right operand would error (unbound variable); short-circuiting
+	// must avoid evaluating it.
+	e := And(Const(tuple.Bool(false)), V("missing"))
+	got, err := EvalBool(e, nil)
+	if err != nil || got {
+		t.Errorf("false and X = %v, %v", got, err)
+	}
+	e2 := Or(Const(tuple.Bool(true)), V("missing"))
+	got, err = EvalBool(e2, nil)
+	if err != nil || !got {
+		t.Errorf("true or X = %v, %v", got, err)
+	}
+	// Non-short-circuit path must evaluate the right side.
+	e3 := And(Const(tuple.Bool(true)), V("missing"))
+	if _, err := EvalBool(e3, nil); !errors.Is(err, ErrUnbound) {
+		t.Errorf("true and unbound: err = %v", err)
+	}
+}
+
+func TestNot(t *testing.T) {
+	got := mustEval(t, Not(Const(tuple.Bool(true))), nil)
+	if got != tuple.Bool(false) {
+		t.Errorf("not true = %v", got)
+	}
+	if _, err := Not(Const(tuple.Int(1))).Eval(nil); !errors.Is(err, ErrType) {
+		t.Errorf("not 1: err = %v", err)
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []Expr{
+		Add(Const(tuple.Atom("a")), Const(tuple.Int(1))),
+		Mod(Const(tuple.Float(1)), Const(tuple.Float(2))),
+		And(Const(tuple.Int(1)), Const(tuple.Bool(true))),
+		Or(Const(tuple.Bool(false)), Const(tuple.Int(1))),
+		Neg(Const(tuple.Atom("a"))),
+	}
+	for _, e := range cases {
+		if _, err := e.Eval(nil); !errors.Is(err, ErrType) {
+			t.Errorf("%s: err = %v, want ErrType", e, err)
+		}
+	}
+}
+
+func TestUnbound(t *testing.T) {
+	if _, err := V("zz").Eval(Env{}); !errors.Is(err, ErrUnbound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want tuple.Value
+	}{
+		{Fn("abs", Const(tuple.Int(-4))), tuple.Int(4)},
+		{Fn("abs", Const(tuple.Float(-2.5))), tuple.Float(2.5)},
+		{Fn("min", Const(tuple.Int(3)), Const(tuple.Int(7))), tuple.Int(3)},
+		{Fn("max", Const(tuple.Int(3)), Const(tuple.Int(7))), tuple.Int(7)},
+		{Fn("pow2", Const(tuple.Int(10))), tuple.Int(1024)},
+		{Fn("int", Const(tuple.Float(3.9))), tuple.Int(3)},
+	}
+	for _, tc := range tests {
+		if got := mustEval(t, tc.e, nil); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	cases := []Expr{
+		Fn("nosuch", Const(tuple.Int(1))),
+		Fn("abs"),
+		Fn("abs", Const(tuple.Atom("a"))),
+		Fn("pow2", Const(tuple.Int(-1))),
+		Fn("pow2", Const(tuple.Int(64))),
+		Fn("int", Const(tuple.Atom("a"))),
+		Fn("min", Const(tuple.Int(1))),
+	}
+	for _, e := range cases {
+		if _, err := e.Eval(nil); err == nil {
+			t.Errorf("%s: expected error", e)
+		}
+	}
+	if !HasBuiltin("abs") || HasBuiltin("nosuch") {
+		t.Error("HasBuiltin misreports")
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	e := And(Gt(V("a"), Const(tuple.Int(0))), Ne(V("b"), Fn("min", V("c"), V("a"))))
+	vars := e.Vars(nil)
+	sort.Strings(vars)
+	want := []string{"a", "a", "b", "c"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", vars, want)
+		}
+	}
+}
+
+func TestEvalBoolNilExpr(t *testing.T) {
+	got, err := EvalBool(nil, nil)
+	if err != nil || !got {
+		t.Errorf("EvalBool(nil) = %v, %v; want true", got, err)
+	}
+}
+
+func TestEvalBoolNonBool(t *testing.T) {
+	if _, err := EvalBool(Const(tuple.Int(1)), nil); !errors.Is(err, ErrType) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	env := Env{"a": tuple.Int(1)}
+	cp := env.Clone()
+	cp["a"] = tuple.Int(2)
+	cp["b"] = tuple.Int(3)
+	if env["a"] != tuple.Int(1) {
+		t.Error("Clone aliased the original")
+	}
+	if _, ok := env["b"]; ok {
+		t.Error("Clone aliased the original (new key)")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(Gt(V("x"), Const(tuple.Int(87))), Not(Eq(V("y"), Const(tuple.Atom("nil")))))
+	want := "((x > 87) and (not (y == nil)))"
+	if got := e.String(); got != want {
+		t.Errorf("String() = %s, want %s", got, want)
+	}
+}
+
+// Property: integer arithmetic on the expression tree agrees with Go.
+func TestQuickIntArithAgreesWithGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		env := Env{"a": tuple.Int(int64(a)), "b": tuple.Int(int64(b))}
+		sum := mustVal(Add(V("a"), V("b")), env)
+		diff := mustVal(Sub(V("a"), V("b")), env)
+		prod := mustVal(Mul(V("a"), V("b")), env)
+		return sum == tuple.Int(int64(a)+int64(b)) &&
+			diff == tuple.Int(int64(a)-int64(b)) &&
+			prod == tuple.Int(int64(a)*int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: comparison operators form a coherent set (exactly one of <, ==, >).
+func TestQuickComparisonTrichotomy(t *testing.T) {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(42))}
+	f := func(a, b int16) bool {
+		env := Env{"a": tuple.Int(int64(a)), "b": tuple.Int(int64(b))}
+		lt, _ := EvalBool(Lt(V("a"), V("b")), env)
+		eq, _ := EvalBool(Eq(V("a"), V("b")), env)
+		gt, _ := EvalBool(Gt(V("a"), V("b")), env)
+		count := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustVal(e Expr, env Env) tuple.Value {
+	v, err := e.Eval(env)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func TestCondBuiltin(t *testing.T) {
+	env := Env{"x": tuple.Int(5)}
+	got := mustEval(t, Fn("cond",
+		Gt(V("x"), Const(tuple.Int(3))),
+		Const(tuple.Atom("big")),
+		Const(tuple.Atom("small"))), env)
+	if got != tuple.Atom("big") {
+		t.Errorf("cond = %v", got)
+	}
+	got = mustEval(t, Fn("cond",
+		Const(tuple.Bool(false)),
+		Const(tuple.Int(1)),
+		Const(tuple.Int(2))), nil)
+	if got != tuple.Int(2) {
+		t.Errorf("cond = %v", got)
+	}
+	if _, err := Fn("cond", Const(tuple.Int(1)), Const(tuple.Int(1)), Const(tuple.Int(2))).Eval(nil); err == nil {
+		t.Error("non-bool condition accepted")
+	}
+	if _, err := Fn("cond", Const(tuple.Bool(true))).Eval(nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}

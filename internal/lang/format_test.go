@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// roundTrip checks that formatting is stable: format(parse(format(parse(src))))
+// equals format(parse(src)).
+func roundTrip(t *testing.T, src string) string {
+	t.Helper()
+	p1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	f1 := Format(p1)
+	p2, err := Parse(f1)
+	if err != nil {
+		t.Fatalf("re-parse formatted: %v\nformatted:\n%s", err, f1)
+	}
+	f2 := Format(p2)
+	if f1 != f2 {
+		t.Errorf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", f1, f2)
+	}
+	return f1
+}
+
+func TestFormatBasicShapes(t *testing.T) {
+	out := roundTrip(t, `
+process P(k)
+import <year, ?a> where ?a <= 87; <month, *>
+export <year, *>
+behavior
+  exists a: <year, ?a>! where ?a > k -> <found, ?a>, let N = ?a, spawn P(N);
+  sel {
+    <a>! -> exit
+  | not <b, *> => abort
+  | ?x == 1 @> skip
+  };
+  rep { <c>! -> skip };
+  par { <d>! -> skip }
+end
+
+main
+  -> <init, 1>;
+  forall : <x, ?v> -> <y, ?v>
+end
+`)
+	for _, want := range []string{
+		"process P(k)", "import", "export", "behavior",
+		"where (?a <= 87)", "sel {", "rep {", "par {",
+		"=> abort", "@> skip", "not <b, *>", "forall : <x, ?v>",
+		"spawn P(N)", "let N = ?a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatExprParenthesization(t *testing.T) {
+	out := roundTrip(t, `main ?a + 2 * 3 == 7 and not ?b -> <r, ?a - -1> end`)
+	if !strings.Contains(out, "((?a + (2 * 3)) == 7)") {
+		t.Errorf("precedence not explicit:\n%s", out)
+	}
+	if !strings.Contains(out, "(?a - (-1))") {
+		t.Errorf("unary minus formatting:\n%s", out)
+	}
+}
+
+func TestFormatComputedPatternFieldsReparse(t *testing.T) {
+	// Parenthesized computed fields must survive the additive-level field
+	// grammar on re-parse.
+	roundTrip(t, `process S(k, j) behavior
+  <k - pow2(j - 1), ?a, j>! => <k, ?a, j + 1>
+end`)
+}
+
+func TestFormatStringsAndFloats(t *testing.T) {
+	out := roundTrip(t, `main -> <msg, "hi there", 1.5, true, false> end`)
+	if !strings.Contains(out, `"hi there"`) || !strings.Contains(out, "1.5") {
+		t.Errorf("literal formatting:\n%s", out)
+	}
+}
+
+// All shipped .sdl examples must round-trip through the formatter.
+func TestFormatExampleFiles(t *testing.T) {
+	files, err := filepath.Glob("../../examples/sdl/*.sdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no example files found")
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			roundTrip(t, string(src))
+		})
+	}
+}

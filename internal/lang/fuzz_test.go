@@ -1,0 +1,61 @@
+package lang
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that the lexer/parser never panic and that anything
+// that parses also formats and re-parses (`go test` runs the seed corpus;
+// `go test -fuzz=FuzzParse ./internal/lang` explores further).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		``,
+		`main -> skip end`,
+		`main exists a: <year, ?a>! where ?a > 87 -> <found, ?a>, let N = ?a end`,
+		`process P(k) import <x, ?a> where ?a <= k export <y, *> behavior -> <y, k> end`,
+		`main sel { <a>! -> exit | not <b> => abort | ?x == 1 @> skip } end`,
+		`main rep { <c>! -> skip }; par { <d>! -> skip } end`,
+		`process S(k, j) behavior <k - pow2(j-1), ?a, j>! => <k, ?a, j+1> end`,
+		`main -> <s, "str \" esc", 1.5, true, -3> end`,
+		`main forall : <x, ?v> -> <y, ?v> end`,
+		`main not (?x == 1) and ?y < 2 or not ?z -> skip end`,
+		"main // comment\n -> <a> end",
+		`process`, `main <`, `main -> < end`, `?`, `@`, `"open`,
+		`main <a, *>! -> skip end`,
+		`main exists : <> -> spawn Q() end`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil || prog == nil {
+			return // rejection is fine; panics are not
+		}
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\noriginal: %q\nformatted:\n%s",
+				err, src, formatted)
+		}
+		if again := Format(prog2); again != formatted {
+			t.Fatalf("format not idempotent for %q", src)
+		}
+	})
+}
+
+// FuzzLex checks the lexer alone for panics and termination.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{``, `a ?b 1 1.5 "x" <>!->=>@>`, "//c\n", `"\q"`, `1.2.3`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream must end with EOF: %v", toks)
+		}
+	})
+}

@@ -1,0 +1,625 @@
+package lang
+
+import (
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses an SDL source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(n int) TokKind {
+	if p.pos+n >= len(p.toks) {
+		return TokEOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errAt(p.cur().Pos, "expected %s, found %s %q",
+			k, p.cur().Kind, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokProcess:
+			decl, err := p.parseProcess()
+			if err != nil {
+				return nil, err
+			}
+			prog.Processes = append(prog.Processes, decl)
+		case TokMain:
+			if prog.Main != nil {
+				return nil, errAt(p.cur().Pos, "duplicate main block")
+			}
+			m, err := p.parseMain()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = m
+		default:
+			return nil, errAt(p.cur().Pos, "expected 'process' or 'main', found %s", p.cur().Kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseProcess() (*ProcessDecl, error) {
+	start, _ := p.expect(TokProcess)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.at(TokRParen) {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, id.Text)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+
+	decl := &ProcessDecl{Name: name.Text, Params: params, Pos: start.Pos}
+	if p.accept(TokImport) {
+		rules, err := p.parseViewRules()
+		if err != nil {
+			return nil, err
+		}
+		decl.Imports = rules
+	}
+	if p.accept(TokExport) {
+		rules, err := p.parseViewRules()
+		if err != nil {
+			return nil, err
+		}
+		decl.Exports = rules
+	}
+	if _, err := p.expect(TokBehavior); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmtList()
+	if err != nil {
+		return nil, err
+	}
+	decl.Body = body
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *Parser) parseMain() (*MainDecl, error) {
+	start, _ := p.expect(TokMain)
+	body, err := p.parseStmtList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEnd); err != nil {
+		return nil, err
+	}
+	return &MainDecl{Body: body, Pos: start.Pos}, nil
+}
+
+// parseViewRules parses `pattern [where expr] {; pattern [where expr]}`,
+// stopping before export/behavior.
+func (p *Parser) parseViewRules() ([]ViewRule, error) {
+	var rules []ViewRule
+	for {
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		rule := ViewRule{Pattern: pat}
+		if p.accept(TokWhere) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rule.Where = e
+		}
+		rules = append(rules, rule)
+		if !p.accept(TokSemicolon) {
+			break
+		}
+		if p.at(TokExport) || p.at(TokBehavior) {
+			break
+		}
+	}
+	return rules, nil
+}
+
+// parseStmtList parses statements separated by ';' until end/}/|/EOF.
+func (p *Parser) parseStmtList() ([]StmtNode, error) {
+	var stmts []StmtNode
+	for {
+		if p.at(TokEnd) || p.at(TokRBrace) || p.at(TokPipe) || p.at(TokEOF) {
+			return stmts, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.accept(TokSemicolon) {
+			return stmts, nil
+		}
+	}
+}
+
+func (p *Parser) parseStmt() (StmtNode, error) {
+	switch p.cur().Kind {
+	case TokSel:
+		pos := p.next().Pos
+		branches, err := p.parseBranchBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &SelNode{Branches: branches, Pos: pos}, nil
+	case TokRep:
+		pos := p.next().Pos
+		branches, err := p.parseBranchBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &RepNode{Branches: branches, Pos: pos}, nil
+	case TokPar:
+		pos := p.next().Pos
+		branches, err := p.parseBranchBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ParNode{Branches: branches, Pos: pos}, nil
+	case TokSpawn, TokLet, TokExit, TokAbort, TokSkip:
+		// Statement-level action sugar: `spawn P(…)` desugars to an
+		// unconditional immediate transaction carrying the action list.
+		t := &TxnNode{Tag: TagImmediate, Pos: p.cur().Pos}
+		for {
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			t.Actions = append(t.Actions, a)
+			if !p.accept(TokComma) {
+				return t, nil
+			}
+		}
+	default:
+		return p.parseTxn()
+	}
+}
+
+func (p *Parser) parseBranchBlock() ([]BranchNode, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var branches []BranchNode
+	for {
+		guard, err := p.parseTxn()
+		if err != nil {
+			return nil, err
+		}
+		branch := BranchNode{Guard: guard}
+		if p.accept(TokSemicolon) {
+			body, err := p.parseStmtList()
+			if err != nil {
+				return nil, err
+			}
+			branch.Body = body
+		}
+		branches = append(branches, branch)
+		if p.accept(TokPipe) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return branches, nil
+}
+
+// parseTxn parses `[quant [vars] :] query tag [actions]`.
+func (p *Parser) parseTxn() (*TxnNode, error) {
+	t := &TxnNode{Pos: p.cur().Pos}
+
+	// Quantifier prefix.
+	if p.at(TokExists) || p.at(TokForall) {
+		if p.at(TokExists) {
+			t.Quant = QuantExists
+		} else {
+			t.Quant = QuantForall
+		}
+		p.next()
+		for p.at(TokIdent) || p.at(TokVar) {
+			t.DeclVars = append(t.DeclVars, p.next().Text)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+	}
+
+	// Query body.
+	if err := p.parseQueryBody(t); err != nil {
+		return nil, err
+	}
+
+	// Tag.
+	switch p.cur().Kind {
+	case TokArrow:
+		t.Tag = TagImmediate
+	case TokDblArrow:
+		t.Tag = TagDelayed
+	case TokConsArrow:
+		t.Tag = TagConsensus
+	default:
+		return nil, errAt(p.cur().Pos, "expected transaction tag ->, => or @>, found %s", p.cur().Kind)
+	}
+	p.next()
+
+	// Action list (possibly empty: ends at ; | } end EOF).
+	afterComma := false
+	for {
+		switch p.cur().Kind {
+		case TokSemicolon, TokPipe, TokRBrace, TokEnd, TokEOF:
+			if afterComma {
+				return nil, errAt(p.cur().Pos, "expected action after ','")
+			}
+			return t, nil
+		}
+		a, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		t.Actions = append(t.Actions, a)
+		if !p.accept(TokComma) {
+			return t, nil
+		}
+		afterComma = true
+	}
+}
+
+// parseQueryBody parses the binding query and test query. Three forms:
+// empty (tag follows immediately), a pattern list with optional where, or
+// a bare predicate expression.
+func (p *Parser) parseQueryBody(t *TxnNode) error {
+	switch p.cur().Kind {
+	case TokArrow, TokDblArrow, TokConsArrow:
+		return nil // empty query: unconditionally true
+	}
+	isPattern := p.at(TokLT) || (p.at(TokNot) && p.peekKind(1) == TokLT)
+	if !isPattern {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		t.Where = e
+		return nil
+	}
+	for {
+		item := QueryItem{}
+		if p.accept(TokNot) {
+			item.Negated = true
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return err
+		}
+		item.Pattern = pat
+		if p.accept(TokBang) {
+			if item.Negated {
+				return errAt(pat.Pos, "a negated pattern cannot be retract-tagged")
+			}
+			item.Retract = true
+		}
+		t.Items = append(t.Items, item)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if p.accept(TokWhere) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		t.Where = e
+	}
+	return nil
+}
+
+func (p *Parser) parsePattern() (PatternNode, error) {
+	start, err := p.expect(TokLT)
+	if err != nil {
+		return PatternNode{}, err
+	}
+	pat := PatternNode{Pos: start.Pos}
+	if p.accept(TokGT) {
+		return pat, nil // empty tuple <>
+	}
+	for {
+		if p.at(TokStar) {
+			pos := p.next().Pos
+			pat.Fields = append(pat.Fields, WildField{Pos: pos})
+		} else {
+			// Fields use the additive grammar level: '<' and '>' delimit
+			// the tuple, so comparisons inside a field need parentheses.
+			e, err := p.parseAdd()
+			if err != nil {
+				return PatternNode{}, err
+			}
+			pat.Fields = append(pat.Fields, ExprField{Expr: e})
+		}
+		if p.accept(TokComma) {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokGT); err != nil {
+		return PatternNode{}, err
+	}
+	return pat, nil
+}
+
+func (p *Parser) parseAction() (ActionNode, error) {
+	switch p.cur().Kind {
+	case TokLT:
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		return AssertAction{Pattern: pat}, nil
+	case TokLet:
+		pos := p.next().Pos
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return LetAction{Name: name.Text, Expr: e, Pos: pos}, nil
+	case TokSpawn:
+		pos := p.next().Pos
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var args []ExprNode
+		for !p.at(TokRParen) {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return SpawnAction{Name: name.Text, Args: args, Pos: pos}, nil
+	case TokExit:
+		return ExitAction{Pos: p.next().Pos}, nil
+	case TokAbort:
+		return AbortAction{Pos: p.next().Pos}, nil
+	case TokSkip:
+		return SkipAction{Pos: p.next().Pos}, nil
+	default:
+		return nil, errAt(p.cur().Pos, "expected action, found %s %q", p.cur().Kind, p.cur().Text)
+	}
+}
+
+// --- expressions ---
+
+func (p *Parser) parseExpr() (ExprNode, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ExprNode, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOr) {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinNode{Op: TokOr, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ExprNode, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAnd) {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinNode{Op: TokAnd, L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ExprNode, error) {
+	if p.at(TokNot) {
+		pos := p.next().Pos
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnNode{Op: TokNot, X: x, Pos: pos}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *Parser) parseCmp() (ExprNode, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokEQ, TokNE, TokLT, TokLE, TokGT, TokGE:
+		op := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinNode{Op: op.Kind, L: l, R: r, Pos: op.Pos}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (ExprNode, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinNode{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (ExprNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinNode{Op: op.Kind, L: l, R: r, Pos: op.Pos}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (ExprNode, error) {
+	if p.at(TokMinus) {
+		pos := p.next().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnNode{Op: TokMinus, X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ExprNode, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokInt:
+		p.next()
+		return &LitNode{Value: tuple.Int(tok.Int), Pos: tok.Pos}, nil
+	case TokFloat:
+		p.next()
+		return &LitNode{Value: tuple.Float(tok.Flt), Pos: tok.Pos}, nil
+	case TokString:
+		p.next()
+		return &LitNode{Value: tuple.String(tok.Text), Pos: tok.Pos}, nil
+	case TokTrue:
+		p.next()
+		return &LitNode{Value: tuple.Bool(true), Pos: tok.Pos}, nil
+	case TokFalse:
+		p.next()
+		return &LitNode{Value: tuple.Bool(false), Pos: tok.Pos}, nil
+	case TokVar:
+		p.next()
+		return &VarNode{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			p.next()
+			var args []ExprNode
+			for !p.at(TokRParen) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &CallNode{Name: tok.Text, Args: args, Pos: tok.Pos}, nil
+		}
+		return &IdentNode{Name: tok.Text, Pos: tok.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errAt(tok.Pos, "expected expression, found %s %q", tok.Kind, tok.Text)
+	}
+}

@@ -1,0 +1,224 @@
+package linda
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func tup(fields ...any) tuple.Tuple { return tuple.MustMake(fields...) }
+
+func TestOutInpRoundTrip(t *testing.T) {
+	s := NewSpace()
+	s.Out(tuple.New(tuple.Atom("point"), tuple.Int(3), tuple.Int(4)))
+
+	got, ok := s.Inp(T().Actual(tuple.Atom("point")).Formal("x").Formal("y"))
+	if !ok {
+		t.Fatal("Inp found nothing")
+	}
+	if x, _ := got.Field(1).AsInt(); x != 3 {
+		t.Errorf("x = %d", x)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after In", s.Len())
+	}
+	if _, ok := s.Inp(T().Actual(tuple.Atom("point")).Formal("x").Formal("y")); ok {
+		t.Error("second Inp should fail")
+	}
+}
+
+func TestRdpDoesNotRemove(t *testing.T) {
+	s := NewSpace()
+	s.Out(tuple.New(tuple.Atom("k"), tuple.Int(1)))
+	if _, ok := s.Rdp(T().Actual(tuple.Atom("k")).Formal("v")); !ok {
+		t.Fatal("Rdp found nothing")
+	}
+	if s.Len() != 1 {
+		t.Error("Rdp removed the tuple")
+	}
+}
+
+func TestTemplateMatching(t *testing.T) {
+	s := NewSpace()
+	s.Out(tuple.New(tuple.Atom("k"), tuple.Int(1)))
+	s.Out(tuple.New(tuple.Atom("k"), tuple.String("s")))
+
+	// Typed formal selects by kind.
+	got, ok := s.Inp(T().Actual(tuple.Atom("k")).FormalTyped("v", tuple.KindString))
+	if !ok {
+		t.Fatal("typed formal missed")
+	}
+	if _, isStr := got.Field(1).AsString(); !isStr {
+		t.Errorf("got %v", got)
+	}
+	// Arity mismatch never matches.
+	if _, ok := s.Inp(T().Actual(tuple.Atom("k"))); ok {
+		t.Error("arity mismatch matched")
+	}
+	// Actual mismatch.
+	if _, ok := s.Inp(T().Actual(tuple.Atom("z")).Formal("v")); ok {
+		t.Error("actual mismatch matched")
+	}
+}
+
+func TestUnconstrainedLeadScansAllBuckets(t *testing.T) {
+	s := NewSpace()
+	s.Out(tuple.New(tuple.Int(7), tuple.Atom("x")))
+	got, ok := s.Inp(T().Formal("k").Formal("v"))
+	if !ok {
+		t.Fatal("formal-lead template missed")
+	}
+	if k, _ := got.Field(0).AsInt(); k != 7 {
+		t.Errorf("k = %d", k)
+	}
+}
+
+func TestInBlocksUntilOut(t *testing.T) {
+	s := NewSpace()
+	done := make(chan tuple.Tuple, 1)
+	go func() {
+		tp, err := s.In(context.Background(), T().Actual(tuple.Atom("job")).Formal("n"))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- tp
+	}()
+	select {
+	case <-done:
+		t.Fatal("In returned before Out")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Out(tuple.New(tuple.Atom("job"), tuple.Int(9)))
+	select {
+	case tp := <-done:
+		if n, _ := tp.Field(1).AsInt(); n != 9 {
+			t.Errorf("n = %d", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("In never woke")
+	}
+}
+
+func TestInContextCancel(t *testing.T) {
+	s := NewSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.In(ctx, T().Actual(tuple.Atom("never")))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("In ignored cancellation")
+	}
+}
+
+func TestConcurrentInExactlyOnce(t *testing.T) {
+	// Classic Linda semantics: each tuple is removed by exactly one In.
+	s := NewSpace()
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Out(tuple.New(tuple.Atom("job"), tuple.Int(int64(i))))
+	}
+	var wg sync.WaitGroup
+	seen := make(chan int64, n)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tp, ok := s.Inp(T().Actual(tuple.Atom("job")).Formal("n"))
+				if !ok {
+					return
+				}
+				v, _ := tp.Field(1).AsInt()
+				seen <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	got := map[int64]int{}
+	for v := range seen {
+		got[v]++
+	}
+	if len(got) != n {
+		t.Fatalf("consumed %d distinct jobs, want %d", len(got), n)
+	}
+	for v, c := range got {
+		if c != 1 {
+			t.Errorf("job %d consumed %d times", v, c)
+		}
+	}
+}
+
+func TestEvalLiveTuple(t *testing.T) {
+	s := NewSpace()
+	s.Eval(func() tuple.Tuple {
+		return tuple.New(tuple.Atom("result"), tuple.Int(42))
+	})
+	tp, err := s.Rd(context.Background(), T().Actual(tuple.Atom("result")).Formal("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tp.Field(1).AsInt(); v != 42 {
+		t.Errorf("v = %d", v)
+	}
+	s.Wait()
+}
+
+func TestStats(t *testing.T) {
+	s := NewSpace()
+	s.Out(tup("a", 1))
+	s.Out(tup("a", 2))
+	_, _ = s.Rdp(T().Actual(tuple.String("a")).Formal("v"))
+	_, _ = s.Inp(T().Actual(tuple.String("a")).Formal("v"))
+	outs, ins, rds := s.Stats()
+	if outs != 2 || ins != 1 || rds != 1 {
+		t.Errorf("stats = %d/%d/%d", outs, ins, rds)
+	}
+}
+
+// The E7 scenario in miniature: a compound read-modify-write in Linda is
+// an In followed by an Out — not atomic, but linearizable per tuple, so
+// concurrent counters still must not lose updates when the counter is held
+// exclusively between In and Out.
+func TestCounterViaInOut(t *testing.T) {
+	s := NewSpace()
+	s.Out(tuple.New(tuple.Atom("counter"), tuple.Int(0)))
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tp, err := s.In(context.Background(), T().Actual(tuple.Atom("counter")).Formal("n"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n, _ := tp.Field(1).AsInt()
+				s.Out(tuple.New(tuple.Atom("counter"), tuple.Int(n+1)))
+			}
+		}()
+	}
+	wg.Wait()
+	tp, ok := s.Inp(T().Actual(tuple.Atom("counter")).Formal("n"))
+	if !ok {
+		t.Fatal("counter missing")
+	}
+	if n, _ := tp.Field(1).AsInt(); n != workers*per {
+		t.Errorf("counter = %d, want %d", n, workers*per)
+	}
+}

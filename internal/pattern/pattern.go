@@ -1,0 +1,266 @@
+// Package pattern implements SDL queries: tuple patterns built from
+// constants, wildcards ('*'), and quantified variables; binding queries
+// (conjunctions of patterns, some tagged for retraction, some negated); test
+// queries (boolean expressions over the bound variables); and the
+// existential / universal quantifiers.
+//
+// The matcher performs a backtracking relational join over a tuple source
+// and yields solutions: variable environments plus the tuple instances
+// matched by each positive pattern (needed to translate retraction tags
+// into dataspace retractions).
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// FieldKind discriminates pattern fields.
+type FieldKind uint8
+
+// Pattern field kinds.
+const (
+	FieldInvalid  FieldKind = iota
+	FieldConst              // a literal value that must Equal the tuple field
+	FieldWildcard           // '*' — matches anything, binds nothing
+	FieldVar                // a variable: binds on first use, must Equal after
+	FieldExpr               // a computed value: expression over earlier bindings
+)
+
+// Field is one position of a tuple pattern.
+type Field struct {
+	Kind  FieldKind
+	Value tuple.Value // FieldConst
+	Name  string      // FieldVar
+	Expr  expr.Expr   // FieldExpr
+}
+
+// C returns a constant field.
+func C(v tuple.Value) Field { return Field{Kind: FieldConst, Value: v} }
+
+// W returns a wildcard field.
+func W() Field { return Field{Kind: FieldWildcard} }
+
+// V returns a variable field.
+func V(name string) Field { return Field{Kind: FieldVar, Name: name} }
+
+// E returns a computed field whose value is an expression over variables
+// bound earlier in the query (e.g. the pattern <k-2^(j-1), α, j> in Sum2).
+func E(e expr.Expr) Field { return Field{Kind: FieldExpr, Expr: e} }
+
+func (f Field) String() string {
+	switch f.Kind {
+	case FieldConst:
+		return f.Value.String()
+	case FieldWildcard:
+		return "*"
+	case FieldVar:
+		return f.Name
+	case FieldExpr:
+		return f.Expr.String()
+	default:
+		return "?"
+	}
+}
+
+// Pattern is one tuple pattern in a binding query.
+type Pattern struct {
+	Fields []Field
+	// Retract marks the pattern with the paper's '↑' tag: the matched tuple
+	// instance is retracted when the transaction commits.
+	Retract bool
+	// Negated marks the pattern with '¬': the query succeeds only if no
+	// tuple matches. A negated pattern binds no variables and cannot carry
+	// a Retract tag.
+	Negated bool
+	// Guard is an optional per-pattern predicate over the bindings in
+	// scope after the pattern matches. For a positive pattern it filters
+	// candidates during the join; for a negated pattern it restricts which
+	// tuples count as violations, expressing guarded negation such as
+	// "¬∃ q,λ': <q, label, λ'> ∧ λ' ≠ λ".
+	Guard expr.Expr
+}
+
+// Guarded returns a copy of the pattern with the guard predicate attached.
+func (p Pattern) Guarded(g expr.Expr) Pattern {
+	p.Guard = g
+	return p
+}
+
+// P builds a positive (read) pattern.
+func P(fields ...Field) Pattern { return Pattern{Fields: fields} }
+
+// R builds a retract-tagged pattern.
+func R(fields ...Field) Pattern { return Pattern{Fields: fields, Retract: true} }
+
+// N builds a negated pattern.
+func N(fields ...Field) Pattern { return Pattern{Fields: fields, Negated: true} }
+
+// Arity returns the number of fields the pattern requires.
+func (p Pattern) Arity() int { return len(p.Fields) }
+
+// Validate reports structural errors (negated+retract, invalid fields).
+func (p Pattern) Validate() error {
+	if p.Negated && p.Retract {
+		return fmt.Errorf("pattern: %s is both negated and retract-tagged", p)
+	}
+	for i, f := range p.Fields {
+		switch f.Kind {
+		case FieldConst, FieldWildcard:
+		case FieldVar:
+			if f.Name == "" {
+				return fmt.Errorf("pattern: empty variable name at field %d", i)
+			}
+		case FieldExpr:
+			if f.Expr == nil {
+				return fmt.Errorf("pattern: nil expression at field %d", i)
+			}
+		default:
+			return fmt.Errorf("pattern: invalid field %d", i)
+		}
+	}
+	return nil
+}
+
+func (p Pattern) String() string {
+	var b strings.Builder
+	if p.Negated {
+		b.WriteString("not ")
+	}
+	b.WriteByte('<')
+	for i, f := range p.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	b.WriteByte('>')
+	if p.Retract {
+		b.WriteByte('!')
+	}
+	if p.Guard != nil {
+		b.WriteString(" if ")
+		b.WriteString(p.Guard.String())
+	}
+	return b.String()
+}
+
+// Lead computes the index key of the pattern's leading field under env:
+// the concrete value the matched tuple must carry in position 0, if it is
+// determined (constant, bound variable, or closed expression). known=false
+// means the pattern must scan all tuples of its arity.
+func (p Pattern) Lead(env expr.Env) (v tuple.Value, known bool) {
+	if len(p.Fields) == 0 {
+		return tuple.Value{}, false
+	}
+	switch f := p.Fields[0]; f.Kind {
+	case FieldConst:
+		return f.Value, true
+	case FieldVar:
+		val, ok := env[f.Name]
+		return val, ok
+	case FieldExpr:
+		val, err := f.Expr.Eval(env)
+		if err != nil {
+			return tuple.Value{}, false
+		}
+		return val, true
+	default:
+		return tuple.Value{}, false
+	}
+}
+
+// MatchInto attempts to match p against t under env. On success it returns
+// true and env extended with any new bindings; the returned env is a fresh
+// map only when new bindings were added (callers must treat it as
+// read-through). On failure it returns env unchanged and false.
+func (p Pattern) MatchInto(t tuple.Tuple, env expr.Env) (expr.Env, bool) {
+	if t.Arity() != len(p.Fields) {
+		return env, false
+	}
+	var extended expr.Env
+	current := func() expr.Env {
+		if extended != nil {
+			return extended
+		}
+		return env
+	}
+	for i, f := range p.Fields {
+		fv := t.Field(i)
+		switch f.Kind {
+		case FieldWildcard:
+			// matches anything
+		case FieldConst:
+			if !f.Value.Equal(fv) {
+				return env, false
+			}
+		case FieldVar:
+			if bound, ok := current()[f.Name]; ok {
+				if !bound.Equal(fv) {
+					return env, false
+				}
+			} else {
+				if extended == nil {
+					extended = env.Clone()
+				}
+				extended[f.Name] = fv
+			}
+		case FieldExpr:
+			want, err := f.Expr.Eval(current())
+			if err != nil {
+				return env, false
+			}
+			if !want.Equal(fv) {
+				return env, false
+			}
+		default:
+			return env, false
+		}
+	}
+	return current(), true
+}
+
+// Vars appends the variables that the pattern can bind (FieldVar names in
+// positive patterns) to dst.
+func (p Pattern) Vars(dst []string) []string {
+	if p.Negated {
+		return dst
+	}
+	for _, f := range p.Fields {
+		if f.Kind == FieldVar {
+			dst = append(dst, f.Name)
+		}
+	}
+	return dst
+}
+
+// Ground instantiates the pattern into a concrete tuple under env. It fails
+// if the pattern contains wildcards or unbound variables; used to
+// materialize Export checks and negated-pattern display.
+func (p Pattern) Ground(env expr.Env) (tuple.Tuple, error) {
+	fields := make([]tuple.Value, len(p.Fields))
+	for i, f := range p.Fields {
+		switch f.Kind {
+		case FieldConst:
+			fields[i] = f.Value
+		case FieldVar:
+			v, ok := env[f.Name]
+			if !ok {
+				return tuple.Tuple{}, fmt.Errorf("pattern: ground: unbound %s", f.Name)
+			}
+			fields[i] = v
+		case FieldExpr:
+			v, err := f.Expr.Eval(env)
+			if err != nil {
+				return tuple.Tuple{}, fmt.Errorf("pattern: ground: %w", err)
+			}
+			fields[i] = v
+		default:
+			return tuple.Tuple{}, fmt.Errorf("pattern: ground: field %d is not groundable", i)
+		}
+	}
+	return tuple.New(fields...), nil
+}

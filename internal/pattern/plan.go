@@ -1,0 +1,133 @@
+package pattern
+
+import "github.com/sdl-lang/sdl/internal/expr"
+
+// planJoinOrder greedily reorders the positive patterns of a query by
+// boundness. At each step it places, among the *eligible* remaining
+// patterns, the one with the best score:
+//
+//	2 — the leading field is determined by the bindings so far (the scan
+//	    hits one index bucket);
+//	1 — the pattern shares a variable with the bindings so far (the join
+//	    is constrained);
+//	0 — unrelated (a full arity scan).
+//
+// Eligibility preserves semantics exactly: a pattern may be placed only
+// when every variable of its computed (FieldExpr) fields is already
+// bound — an unevaluable computed field silently fails to match, so
+// hoisting it would change results — and every variable of its guard is
+// bound or bound by the pattern itself, so guards never see fresh
+// unbound variables they would not have seen in written order. When no
+// remaining pattern is eligible, the next one in written order is taken
+// (reproducing the written-order behavior, including its errors).
+//
+// Ties break toward written order, keeping plans deterministic.
+func planJoinOrder(q Query, positives []int, base expr.Env) []int {
+	if len(positives) <= 1 {
+		return positives
+	}
+	bound := make(map[string]bool, len(base))
+	for name := range base {
+		bound[name] = true
+	}
+
+	patVars := func(pi int) (own []string) {
+		for _, f := range q.Patterns[pi].Fields {
+			if f.Kind == FieldVar {
+				own = append(own, f.Name)
+			}
+		}
+		return own
+	}
+	exprVarsBound := func(pi int) bool {
+		for _, f := range q.Patterns[pi].Fields {
+			if f.Kind != FieldExpr {
+				continue
+			}
+			for _, v := range f.Expr.Vars(nil) {
+				if !bound[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	guardVarsBound := func(pi int) bool {
+		g := q.Patterns[pi].Guard
+		if g == nil {
+			return true
+		}
+		own := map[string]bool{}
+		for _, v := range patVars(pi) {
+			own[v] = true
+		}
+		for _, v := range g.Vars(nil) {
+			if !bound[v] && !own[v] {
+				return false
+			}
+		}
+		return true
+	}
+	leadKnown := func(pi int) bool {
+		fields := q.Patterns[pi].Fields
+		if len(fields) == 0 {
+			return false
+		}
+		switch f := fields[0]; f.Kind {
+		case FieldConst:
+			return true
+		case FieldVar:
+			return bound[f.Name]
+		case FieldExpr:
+			for _, v := range f.Expr.Vars(nil) {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	sharesVar := func(pi int) bool {
+		for _, v := range patVars(pi) {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	out := make([]int, 0, len(positives))
+	remaining := append([]int(nil), positives...)
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestScore := -1
+		for ri, pi := range remaining {
+			if !exprVarsBound(pi) || !guardVarsBound(pi) {
+				continue
+			}
+			score := 0
+			if sharesVar(pi) {
+				score = 1
+			}
+			if leadKnown(pi) {
+				score = 2
+			}
+			if score > bestScore {
+				bestScore = score
+				bestIdx = ri
+			}
+		}
+		if bestIdx < 0 {
+			bestIdx = 0 // nothing eligible: fall back to written order
+		}
+		pi := remaining[bestIdx]
+		out = append(out, pi)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, v := range patVars(pi) {
+			bound[v] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package pattern
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// countingSource counts tuples visited by scans.
+type countingSource struct {
+	inner   *sliceSource
+	visited int
+}
+
+func (c *countingSource) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
+	if leadKnown {
+		// Emulate an index: visit only matching-lead tuples.
+		c.inner.Scan(arity, lead, true, func(id tuple.ID, t tuple.Tuple) bool {
+			c.visited++
+			return fn(id, t)
+		})
+		return
+	}
+	c.inner.Scan(arity, lead, false, func(id tuple.ID, t tuple.Tuple) bool {
+		c.visited++
+		return fn(id, t)
+	})
+}
+
+func TestPlannerReducesScans(t *testing.T) {
+	// Written order starts with an unbounded arity-3 scan; the planner
+	// starts from the constant-led adjacency pattern <7, p2>, after which
+	// the label pattern's lead is bound and both scans hit index buckets.
+	var ts []tuple.Tuple
+	for i := int64(0); i < 50; i++ {
+		ts = append(ts, tuple.New(tuple.Int(i), tuple.Int((i+1)%50)))                   // adjacency
+		ts = append(ts, tuple.New(tuple.Int(i), tuple.Atom("label"), tuple.Int(i)))     // labels
+		ts = append(ts, tuple.New(tuple.Int(i), tuple.Atom("noise"), tuple.Int(100+i))) // noise
+	}
+	q := Q(
+		P(V("p2"), C(tuple.Atom("label")), V("l2")), // written first: full arity-3 scan
+		P(C(tuple.Int(7)), V("p2")),                 // constant lead: one bucket
+	)
+
+	run := func(plan Plan) (int, bool) {
+		q := q
+		q.Plan = plan
+		src := &countingSource{inner: &sliceSource{tuples: ts}}
+		_, found, err := Solve(q, src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src.visited, found
+	}
+	unplannedVisits, f1 := run(PlanWritten)
+	plannedVisits, f2 := run(PlanAuto)
+	if f1 != f2 {
+		t.Fatalf("planned/unplanned disagree: %v vs %v", f1, f2)
+	}
+	if !f1 {
+		t.Fatal("query should succeed")
+	}
+	if plannedVisits >= unplannedVisits {
+		t.Errorf("planner did not reduce scans: planned=%d unplanned=%d",
+			plannedVisits, unplannedVisits)
+	}
+}
+
+func TestPlannerRespectsComputedFieldDependencies(t *testing.T) {
+	// <k, v> binds k; <k+1, w> must stay after it even though it has a
+	// "known" lead expression — its variable is unbound initially.
+	s := src(
+		tuple.New(tuple.Int(1), tuple.Int(10)),
+		tuple.New(tuple.Int(2), tuple.Int(20)),
+	)
+	q := Q(
+		P(pattern_E_add("k"), V("w")), // written first, depends on k
+		P(V("k"), V("v")).Guarded(expr.Eq(expr.V("k"), expr.Const(tuple.Int(1)))),
+	)
+	sols, err := SolveAll(QAll(q.Patterns...).Where(q.Test), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	if sols[0].Env["w"] != tuple.Int(20) {
+		t.Errorf("w = %v", sols[0].Env["w"])
+	}
+}
+
+func pattern_E_add(name string) Field {
+	return E(expr.Add(expr.V(name), expr.Const(tuple.Int(1))))
+}
+
+// Property: planned and written-order evaluation produce the same solution
+// multiset for random queries over random stores.
+func TestQuickPlannerPreservesSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		var ts []tuple.Tuple
+		n := 5 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			ts = append(ts, tuple.New(
+				tuple.Int(int64(rng.Intn(4))),
+				tuple.Int(int64(rng.Intn(4))),
+			))
+		}
+		s := src(ts...)
+		// Random 2-3 pattern query over shared variables.
+		vars := []string{"a", "b", "c"}
+		mk := func() Pattern {
+			f := func() Field {
+				switch rng.Intn(3) {
+				case 0:
+					return C(tuple.Int(int64(rng.Intn(4))))
+				case 1:
+					return V(vars[rng.Intn(len(vars))])
+				default:
+					return W()
+				}
+			}
+			p := P(f(), f())
+			if rng.Intn(2) == 0 {
+				p.Retract = true
+			}
+			return p
+		}
+		pats := []Pattern{mk(), mk()}
+		if rng.Intn(2) == 0 {
+			pats = append(pats, mk())
+		}
+		qAuto := Query{Quant: ForAll, Patterns: pats, Plan: PlanAuto}
+		qWritten := Query{Quant: ForAll, Patterns: pats, Plan: PlanWritten}
+		a, err := SolveAll(qAuto, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SolveAll(qWritten, s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSolutionSet(a, b) {
+			t.Fatalf("trial %d: planner changed solutions\npatterns: %v\nauto: %d sols, written: %d sols",
+				trial, pats, len(a), len(b))
+		}
+	}
+}
+
+// sameSolutionSet compares solution multisets by canonical rendering.
+func sameSolutionSet(a, b []Binding) bool {
+	key := func(bd Binding) string {
+		var parts []string
+		var names []string
+		for k := range bd.Env {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			parts = append(parts, k+"="+bd.Env[k].String())
+		}
+		var ids []string
+		for _, id := range bd.RetractedIDs() {
+			ids = append(ids, tuple.New(tuple.Int(int64(id))).String())
+		}
+		sort.Strings(ids)
+		return strings.Join(parts, ",") + "|" + strings.Join(ids, ",")
+	}
+	ka := make(map[string]int)
+	for _, bd := range a {
+		ka[key(bd)]++
+	}
+	for _, bd := range b {
+		ka[key(bd)]--
+	}
+	for _, c := range ka {
+		if c != 0 {
+			return false
+		}
+	}
+	return len(a) == len(b)
+}

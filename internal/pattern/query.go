@@ -1,0 +1,311 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Quantifier selects between the paper's ∃ and ∀ query forms.
+type Quantifier uint8
+
+// Quantifiers.
+const (
+	Exists Quantifier = iota + 1 // ∃ — an arbitrary single solution
+	ForAll                       // ∀ — every solution, as one composite
+)
+
+// String renders the quantifier in ASCII surface syntax.
+func (q Quantifier) String() string {
+	switch q {
+	case Exists:
+		return "exists"
+	case ForAll:
+		return "forall"
+	default:
+		return "?"
+	}
+}
+
+// Plan selects how the matcher orders the positive patterns of a query.
+type Plan uint8
+
+// Plans.
+const (
+	// PlanAuto (the default) reorders positive patterns greedily by
+	// boundness: patterns whose leading field is determined by the
+	// bindings accumulated so far are matched first (they hit index
+	// buckets instead of arity scans), then patterns sharing a variable
+	// with the bindings. The solution set is unchanged — only the join
+	// order and therefore the scan cost. Experiment E11 measures it.
+	PlanAuto Plan = iota
+	// PlanWritten evaluates patterns exactly in written order (the naive
+	// semantics, and the ablation baseline).
+	PlanWritten
+)
+
+// Query is a complete SDL query: quantifier, binding query (patterns), and
+// test query (boolean expression over the bound variables).
+type Query struct {
+	Quant    Quantifier
+	Patterns []Pattern
+	Test     expr.Expr
+	Plan     Plan
+}
+
+// Q builds an existential query.
+func Q(patterns ...Pattern) Query {
+	return Query{Quant: Exists, Patterns: patterns}
+}
+
+// QAll builds a universal query.
+func QAll(patterns ...Pattern) Query {
+	return Query{Quant: ForAll, Patterns: patterns}
+}
+
+// Where attaches a test query, returning the modified query.
+func (q Query) Where(test expr.Expr) Query {
+	q.Test = test
+	return q
+}
+
+// Validate reports structural errors in the query.
+func (q Query) Validate() error {
+	if q.Quant != Exists && q.Quant != ForAll {
+		return fmt.Errorf("pattern: invalid quantifier %d", q.Quant)
+	}
+	for _, p := range q.Patterns {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Vars returns the variables bound by the query's positive patterns.
+func (q Query) Vars() []string {
+	var dst []string
+	for _, p := range q.Patterns {
+		dst = p.Vars(dst)
+	}
+	return dst
+}
+
+func (q Query) String() string {
+	parts := make([]string, len(q.Patterns))
+	for i, p := range q.Patterns {
+		parts[i] = p.String()
+	}
+	s := q.Quant.String() + " " + strings.Join(parts, ", ")
+	if q.Test != nil {
+		s += " where " + q.Test.String()
+	}
+	return s
+}
+
+// Source supplies candidate tuples to the matcher. Implementations (the
+// dataspace window) must support reentrant Scan calls: the matcher nests a
+// Scan per pattern during the join.
+type Source interface {
+	// Scan calls fn for every tuple instance with the given arity and —
+	// when leadKnown — whose first field Equals lead. Iteration stops when
+	// fn returns false. The iteration order is unspecified; SDL's ∃ picks
+	// an arbitrary match.
+	Scan(arity int, lead tuple.Value, leadKnown bool, fn func(id tuple.ID, t tuple.Tuple) bool)
+}
+
+// Match records one positive pattern's matched tuple instance.
+type Match struct {
+	PatternIndex int
+	ID           tuple.ID
+	Tuple        tuple.Tuple
+	Retract      bool
+}
+
+// Binding is one solution of a query: the final variable environment plus
+// the tuple instances matched by each positive pattern.
+type Binding struct {
+	Env     expr.Env
+	Matched []Match
+}
+
+// RetractedIDs returns the distinct identifiers of tuples tagged for
+// retraction by this solution.
+func (b Binding) RetractedIDs() []tuple.ID {
+	var ids []tuple.ID
+	for _, m := range b.Matched {
+		if m.Retract {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// Enumerate finds solutions to q against src starting from the base
+// environment, invoking fn for each; enumeration stops early when fn
+// returns false. Within one solution, retract-tagged patterns always match
+// pairwise-distinct tuple instances (one instance can be retracted only
+// once); read patterns may alias.
+//
+// Negated patterns and the test query are checked per candidate solution
+// after all positive patterns have matched; variables that appear only in
+// negated patterns act as wildcards.
+func Enumerate(q Query, src Source, base expr.Env, fn func(Binding) bool) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	var (
+		positives []int
+		negatives []int
+	)
+	for i, p := range q.Patterns {
+		if p.Negated {
+			negatives = append(negatives, i)
+		} else {
+			positives = append(positives, i)
+		}
+	}
+	if base == nil {
+		base = expr.Env{}
+	}
+	if q.Plan == PlanAuto {
+		positives = planJoinOrder(q, positives, base)
+	}
+
+	matched := make([]Match, 0, len(positives))
+	var walkErr error
+	stopped := false
+
+	var walk func(k int, env expr.Env)
+	walk = func(k int, env expr.Env) {
+		if stopped || walkErr != nil {
+			return
+		}
+		if k == len(positives) {
+			ok, err := checkSolution(q, negatives, src, env)
+			if err != nil {
+				walkErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			sol := Binding{Env: env, Matched: make([]Match, len(matched))}
+			copy(sol.Matched, matched)
+			if !fn(sol) {
+				stopped = true
+			}
+			return
+		}
+		pi := positives[k]
+		p := q.Patterns[pi]
+		lead, known := p.Lead(env)
+		src.Scan(p.Arity(), lead, known, func(id tuple.ID, t tuple.Tuple) bool {
+			if p.Retract && retractedAlready(matched, id) {
+				return true // distinctness for retract tags
+			}
+			env2, ok := p.MatchInto(t, env)
+			if !ok {
+				return true
+			}
+			if p.Guard != nil {
+				pass, err := expr.EvalBool(p.Guard, env2)
+				if err != nil {
+					walkErr = fmt.Errorf("pattern: guard: %w", err)
+					return false
+				}
+				if !pass {
+					return true
+				}
+			}
+			matched = append(matched, Match{PatternIndex: pi, ID: id, Tuple: t, Retract: p.Retract})
+			walk(k+1, env2)
+			matched = matched[:len(matched)-1]
+			return !stopped && walkErr == nil
+		})
+	}
+	walk(0, base)
+	return walkErr
+}
+
+func retractedAlready(matched []Match, id tuple.ID) bool {
+	for _, m := range matched {
+		if m.Retract && m.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSolution evaluates the test query and the negated patterns under the
+// candidate environment.
+func checkSolution(q Query, negatives []int, src Source, env expr.Env) (bool, error) {
+	ok, err := expr.EvalBool(q.Test, env)
+	if err != nil {
+		return false, fmt.Errorf("pattern: test query: %w", err)
+	}
+	if !ok {
+		return false, nil
+	}
+	for _, ni := range negatives {
+		p := q.Patterns[ni]
+		lead, known := p.Lead(env)
+		found := false
+		var guardErr error
+		src.Scan(p.Arity(), lead, known, func(_ tuple.ID, t tuple.Tuple) bool {
+			env2, m := p.MatchInto(t, env)
+			if !m {
+				return true
+			}
+			if p.Guard != nil {
+				pass, err := expr.EvalBool(p.Guard, env2)
+				if err != nil {
+					guardErr = err
+					return false
+				}
+				if !pass {
+					return true // guarded out: does not count as a violation
+				}
+			}
+			found = true
+			return false
+		})
+		if guardErr != nil {
+			return false, fmt.Errorf("pattern: negation guard: %w", guardErr)
+		}
+		if found {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Solve finds a single solution for an existential query (or the first
+// solution of a universal one). found is false when the query has no
+// solution.
+func Solve(q Query, src Source, base expr.Env) (Binding, bool, error) {
+	var (
+		sol   Binding
+		found bool
+	)
+	err := Enumerate(q, src, base, func(b Binding) bool {
+		sol = b
+		found = true
+		return false
+	})
+	return sol, found, err
+}
+
+// SolveAll collects every solution of the query. For ForAll transactions
+// the composite effect is the union of the per-solution retractions and
+// assertions; the caller deduplicates retraction IDs.
+func SolveAll(q Query, src Source, base expr.Env) ([]Binding, error) {
+	var out []Binding
+	err := Enumerate(q, src, base, func(b Binding) bool {
+		out = append(out, b)
+		return true
+	})
+	return out, err
+}

@@ -1,0 +1,363 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func year(n int64) tuple.Tuple { return tuple.New(tuple.Atom("year"), tuple.Int(n)) }
+
+func TestSolveMembership(t *testing.T) {
+	s := src(year(87), year(90))
+	// The paper's membership test: (year, 87).
+	q := Q(P(C(tuple.Atom("year")), C(tuple.Int(87))))
+	_, found, err := Solve(q, s, nil)
+	if err != nil || !found {
+		t.Fatalf("membership: found=%v err=%v", found, err)
+	}
+	q2 := Q(P(C(tuple.Atom("year")), C(tuple.Int(99))))
+	_, found, err = Solve(q2, s, nil)
+	if err != nil || found {
+		t.Fatalf("absent membership: found=%v err=%v", found, err)
+	}
+}
+
+func TestSolveBindAndTest(t *testing.T) {
+	// ∃α: <year, α>! : α > 87 — the paper's immediate transaction example.
+	s := src(year(85), year(90), year(87))
+	q := Q(R(C(tuple.Atom("year")), V("a"))).
+		Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87))))
+	b, found, err := Solve(q, s, nil)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if b.Env["a"] != tuple.Int(90) {
+		t.Errorf("a = %v, want 90", b.Env["a"])
+	}
+	ids := b.RetractedIDs()
+	if len(ids) != 1 {
+		t.Fatalf("retractions = %v", ids)
+	}
+	if got := b.Matched[0].Tuple; !got.Equal(year(90)) {
+		t.Errorf("matched %v", got)
+	}
+}
+
+func TestSolveJoinTwoPatterns(t *testing.T) {
+	// Pair an index with a value: <index, p>, <value, v>.
+	s := src(
+		tuple.New(tuple.Atom("index"), tuple.Int(3)),
+		tuple.New(tuple.Atom("value"), tuple.Int(42)),
+	)
+	q := Q(
+		R(C(tuple.Atom("index")), V("p")),
+		R(C(tuple.Atom("value")), V("v")),
+	)
+	b, found, err := Solve(q, s, nil)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if b.Env["p"] != tuple.Int(3) || b.Env["v"] != tuple.Int(42) {
+		t.Errorf("env = %v", b.Env)
+	}
+	if len(b.RetractedIDs()) != 2 {
+		t.Errorf("retractions = %v", b.RetractedIDs())
+	}
+}
+
+func TestRetractDistinctness(t *testing.T) {
+	// Sum3 core: ∃: <ν,α>!, <µ,β>! : ν ≠ µ. With a single tuple in the
+	// space there is no solution (cannot retract the same instance twice),
+	// even without the test.
+	s := src(tuple.New(tuple.Int(1), tuple.Int(10)))
+	q := Q(R(V("n"), V("a")), R(V("m"), V("b")))
+	_, found, err := Solve(q, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("single instance matched two retract patterns")
+	}
+
+	// Two instances of the *same* content are two distinct instances.
+	s2 := src(tuple.New(tuple.Int(1), tuple.Int(10)), tuple.New(tuple.Int(1), tuple.Int(10)))
+	_, found, err = Solve(q, s2, nil)
+	if err != nil || !found {
+		t.Errorf("multiset instances: found=%v err=%v", found, err)
+	}
+
+	// Read patterns may alias the same instance.
+	qRead := Q(P(V("n"), V("a")), P(V("m"), V("b")))
+	_, found, err = Solve(qRead, s, nil)
+	if err != nil || !found {
+		t.Errorf("read aliasing: found=%v err=%v", found, err)
+	}
+}
+
+func TestNegatedPattern(t *testing.T) {
+	// ¬(index, *) — succeeds only when no index tuple exists.
+	q := Q(N(C(tuple.Atom("index")), W()))
+	_, found, err := Solve(q, src(year(87)), nil)
+	if err != nil || !found {
+		t.Errorf("no index: found=%v err=%v", found, err)
+	}
+	_, found, err = Solve(q, src(tuple.New(tuple.Atom("index"), tuple.Int(1))), nil)
+	if err != nil || found {
+		t.Errorf("index present: found=%v err=%v", found, err)
+	}
+}
+
+func TestNegationSeesBindings(t *testing.T) {
+	// Find a node with no successor: <ν, next>, ¬<next, *> over edges.
+	edge := func(a, b string) tuple.Tuple {
+		return tuple.New(tuple.Atom(a), tuple.Atom(b))
+	}
+	s := src(edge("a", "b"), edge("b", "c"))
+	q := Q(
+		P(W(), V("last")),
+		N(V("last"), W()),
+	)
+	b, found, err := Solve(q, s, nil)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if b.Env["last"] != tuple.Atom("c") {
+		t.Errorf("last = %v, want c", b.Env["last"])
+	}
+}
+
+func TestForAllEnumeratesAllSolutions(t *testing.T) {
+	s := src(year(85), year(90), year(95))
+	q := QAll(P(C(tuple.Atom("year")), V("a"))).
+		Where(expr.Ge(expr.V("a"), expr.Const(tuple.Int(90))))
+	sols, err := SolveAll(q, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %d, want 2", len(sols))
+	}
+	seen := map[int64]bool{}
+	for _, b := range sols {
+		v, _ := b.Env["a"].AsInt()
+		seen[v] = true
+	}
+	if !seen[90] || !seen[95] {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestEmptyBindingQueryTestOnly(t *testing.T) {
+	// Guards like `k mod 2 == 0 ⇑ …` have no patterns, only a test.
+	q := Query{Quant: Exists, Test: expr.Eq(
+		expr.Mod(expr.V("k"), expr.Const(tuple.Int(2))), expr.Const(tuple.Int(0)))}
+	_, found, err := Solve(q, src(), expr.Env{"k": tuple.Int(4)})
+	if err != nil || !found {
+		t.Errorf("even k: found=%v err=%v", found, err)
+	}
+	_, found, err = Solve(q, src(), expr.Env{"k": tuple.Int(5)})
+	if err != nil || found {
+		t.Errorf("odd k: found=%v err=%v", found, err)
+	}
+}
+
+func TestBaseEnvParameterBinding(t *testing.T) {
+	// Process parameters flow into queries as pre-bound variables.
+	s := src(
+		tuple.New(tuple.Int(1), tuple.Atom("color"), tuple.Atom("red"), tuple.Int(2)),
+		tuple.New(tuple.Int(2), tuple.Atom("size"), tuple.Int(9), tuple.Atom("nil")),
+	)
+	// Search(id, P): ∃ν: <id, P, ν, *>
+	q := Q(P(V("id"), V("P"), V("v"), W()))
+	b, found, err := Solve(q, s, expr.Env{
+		"id": tuple.Int(1), "P": tuple.Atom("color"),
+	})
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if b.Env["v"] != tuple.Atom("red") {
+		t.Errorf("v = %v", b.Env["v"])
+	}
+}
+
+func TestTestQueryErrorPropagates(t *testing.T) {
+	s := src(year(87))
+	q := Q(P(C(tuple.Atom("year")), V("a"))).
+		Where(expr.Add(expr.V("a"), expr.Const(tuple.Int(1)))) // int, not bool
+	if _, _, err := Solve(q, s, nil); err == nil {
+		t.Error("non-boolean test should error")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (Query{}).Validate(); err == nil {
+		t.Error("zero quantifier should be invalid")
+	}
+	q := Q(Pattern{Fields: []Field{C(tuple.Int(1))}, Negated: true, Retract: true})
+	if _, _, err := Solve(q, src(), nil); err == nil {
+		t.Error("invalid pattern should surface from Solve")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := src(year(1), year(2), year(3), year(4))
+	count := 0
+	err := Enumerate(Q(P(C(tuple.Atom("year")), V("a"))), s, nil, func(Binding) bool {
+		count++
+		return count < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("count = %d, want 2 (early stop)", count)
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	q := Q(R(C(tuple.Atom("year")), V("a")), N(C(tuple.Atom("stop")))).
+		Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87))))
+	want := "exists <year, a>!, not <stop> where (a > 87)"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if QAll().String() != "forall " {
+		t.Errorf("forall rendering = %q", QAll().String())
+	}
+}
+
+// Property: for random multisets of <k, v> tuples, SolveAll on pattern
+// <k, v> finds exactly the tuples present (join completeness).
+func TestQuickSolveAllComplete(t *testing.T) {
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(7)), MaxCount: 50}
+	f := func(raw []uint8) bool {
+		ts := make([]tuple.Tuple, len(raw))
+		for i, r := range raw {
+			ts[i] = tuple.New(tuple.Int(int64(r%4)), tuple.Int(int64(r)))
+		}
+		s := src(ts...)
+		sols, err := SolveAll(QAll(P(V("k"), V("v"))), s, nil)
+		return err == nil && len(sols) == len(ts)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two retract patterns over the same shape yield n*(n-1) ordered
+// solutions for n distinct instances (distinctness invariant).
+func TestQuickRetractPairsCount(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		ts := make([]tuple.Tuple, n)
+		for i := range ts {
+			ts[i] = tuple.New(tuple.Int(int64(i)), tuple.Int(int64(i*10)))
+		}
+		s := src(ts...)
+		sols, err := SolveAll(QAll(R(V("a"), V("x")), R(V("b"), V("y"))), s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := n * (n - 1)
+		if len(sols) != want {
+			t.Errorf("n=%d: solutions = %d, want %d", n, len(sols), want)
+		}
+	}
+}
+
+func BenchmarkSolveJoin(b *testing.B) {
+	ts := make([]tuple.Tuple, 0, 200)
+	for i := 0; i < 100; i++ {
+		ts = append(ts, tuple.New(tuple.Atom("index"), tuple.Int(int64(i))))
+		ts = append(ts, tuple.New(tuple.Atom("value"), tuple.Int(int64(i*7))))
+	}
+	s := src(ts...)
+	q := Q(
+		P(C(tuple.Atom("index")), V("p")),
+		P(C(tuple.Atom("value")), V("v")),
+	).Where(expr.Eq(expr.V("p"), expr.Const(tuple.Int(50))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, found, err := Solve(q, s, nil); err != nil || !found {
+			b.Fatalf("found=%v err=%v", found, err)
+		}
+	}
+}
+
+func TestGuardedPositivePattern(t *testing.T) {
+	s := src(year(85), year(90), year(95))
+	q := Q(P(C(tuple.Atom("year")), V("a")).Guarded(
+		expr.Gt(expr.V("a"), expr.Const(tuple.Int(92)))))
+	b, found, err := Solve(q, s, nil)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if b.Env["a"] != tuple.Int(95) {
+		t.Errorf("a = %v", b.Env["a"])
+	}
+}
+
+func TestGuardedNegation(t *testing.T) {
+	// "no year differs from mine": succeeds only when all year values are
+	// equal to the bound one.
+	q := Q(
+		P(C(tuple.Atom("year")), V("l")),
+		N(C(tuple.Atom("year")), V("l2")).Guarded(
+			expr.Ne(expr.V("l2"), expr.V("l"))),
+	)
+	_, found, err := Solve(q, src(year(90), year(90)), nil)
+	if err != nil || !found {
+		t.Errorf("uniform: found=%v err=%v", found, err)
+	}
+	_, found, err = Solve(q, src(year(90), year(91)), nil)
+	if err != nil || found {
+		t.Errorf("mixed: found=%v err=%v", found, err)
+	}
+}
+
+func TestGuardErrorPropagates(t *testing.T) {
+	q := Q(P(C(tuple.Atom("year")), V("a")).Guarded(
+		expr.Add(expr.V("a"), expr.Const(tuple.Int(1))))) // non-bool guard
+	if _, _, err := Solve(q, src(year(90)), nil); err == nil {
+		t.Error("non-bool guard should error")
+	}
+	qn := Q(
+		P(C(tuple.Atom("year")), V("a")),
+		N(C(tuple.Atom("year")), V("b")).Guarded(expr.V("zzz")),
+	)
+	if _, _, err := Solve(qn, src(year(90)), nil); err == nil {
+		t.Error("negation guard error should propagate")
+	}
+}
+
+func TestGuardedPatternString(t *testing.T) {
+	p := P(C(tuple.Atom("x"))).Guarded(expr.Gt(expr.V("a"), expr.Const(tuple.Int(1))))
+	if got := p.String(); got != "<x> if (a > 1)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q := Q(
+		P(C(tuple.Atom("a")), V("x"), V("y")),
+		N(C(tuple.Atom("b")), V("z")), // negated: binds nothing
+		R(V("x"), W()),
+	)
+	got := q.Vars()
+	want := map[string]int{"x": 2, "y": 1}
+	counts := map[string]int{}
+	for _, v := range got {
+		counts[v]++
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("Vars = %v", got)
+		}
+	}
+	if counts["z"] != 0 {
+		t.Errorf("negated pattern leaked var: %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package process implements SDL's process society: parameterized process
+// definitions, dynamic process creation, and the four flow-of-control
+// constructs — sequence, selection, repetition, and replication — that
+// sequence transaction execution within a process.
+//
+// Each process instance runs on its own goroutine with a private
+// environment (parameters plus let-constants), a programmer-defined view,
+// and a unique ProcessID that owns the tuples it asserts. Processes are
+// created by other processes (the Spawn action) or by the embedding
+// program (Runtime.Spawn), and terminate when their behavior completes or
+// an abort action executes.
+package process
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/sdl-lang/sdl/internal/consensus"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+// Errors.
+var (
+	// ErrUnknownDefinition reports a spawn of an undefined process type.
+	ErrUnknownDefinition = errors.New("process: unknown process definition")
+	// ErrArity reports a spawn with the wrong number of arguments.
+	ErrArity = errors.New("process: wrong number of arguments")
+	// ErrRuntimeClosed reports a spawn on a shut-down runtime.
+	ErrRuntimeClosed = errors.New("process: runtime closed")
+)
+
+// control-flow sentinels used by the interpreter.
+var (
+	errExit  = errors.New("process: exit")
+	errAbort = errors.New("process: abort")
+)
+
+// ViewFunc builds a process's view from its parameter environment, so
+// views can reference parameters (IMPORT <node_id,*,*,*> in the Sort
+// process). A nil ViewFunc means the universal view.
+type ViewFunc func(env expr.Env) view.View
+
+// Definition is a parameterized process type.
+type Definition struct {
+	// Name identifies the type for Spawn actions.
+	Name string
+	// Params names the formal parameters, bound in the process environment.
+	Params []string
+	// View builds the process view from the parameters (nil = universal).
+	View ViewFunc
+	// Body is the behavior: a sequence of statements.
+	Body []Stmt
+}
+
+// Runtime hosts a process society over one dataspace/engine/consensus
+// manager.
+type Runtime struct {
+	engine *txn.Engine
+	cons   *consensus.Manager
+
+	defsMu sync.RWMutex
+	defs   map[string]*Definition
+
+	nextPID atomic.Uint64
+	running atomic.Int64
+	spawned atomic.Uint64
+
+	liveMu sync.Mutex
+	live   map[tuple.ProcessID]*proc
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	errMu  sync.Mutex
+	errs   []error
+	maxErr int
+}
+
+// NewRuntime creates a runtime over the engine. The consensus manager may
+// be shared with other components; pass nil to create a private one.
+func NewRuntime(engine *txn.Engine, cons *consensus.Manager) *Runtime {
+	if cons == nil {
+		cons = consensus.NewManager(engine)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Runtime{
+		engine: engine,
+		cons:   cons,
+		defs:   make(map[string]*Definition),
+		live:   make(map[tuple.ProcessID]*proc),
+		ctx:    ctx,
+		cancel: cancel,
+		maxErr: 64,
+	}
+}
+
+// Engine returns the runtime's transaction engine.
+func (rt *Runtime) Engine() *txn.Engine { return rt.engine }
+
+// Consensus returns the runtime's consensus manager.
+func (rt *Runtime) Consensus() *consensus.Manager { return rt.cons }
+
+// Define registers a process definition. For a given program the set of
+// definitions is static; Define is typically called before any Spawn.
+func (rt *Runtime) Define(def *Definition) error {
+	if def == nil || def.Name == "" {
+		return errors.New("process: empty definition")
+	}
+	rt.defsMu.Lock()
+	defer rt.defsMu.Unlock()
+	if _, dup := rt.defs[def.Name]; dup {
+		return fmt.Errorf("process: duplicate definition %q", def.Name)
+	}
+	rt.defs[def.Name] = def
+	return nil
+}
+
+// Spawn creates a process instance of the named definition with the given
+// argument values and starts it. It returns the new process's ID.
+func (rt *Runtime) Spawn(name string, args ...tuple.Value) (tuple.ProcessID, error) {
+	if rt.closed.Load() {
+		return 0, ErrRuntimeClosed
+	}
+	rt.defsMu.RLock()
+	def := rt.defs[name]
+	rt.defsMu.RUnlock()
+	if def == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDefinition, name)
+	}
+	if len(args) != len(def.Params) {
+		return 0, fmt.Errorf("%w: %s takes %d, got %d",
+			ErrArity, name, len(def.Params), len(args))
+	}
+	env := make(expr.Env, len(args))
+	for i, p := range def.Params {
+		env[p] = args[i]
+	}
+	pid := tuple.ProcessID(rt.nextPID.Add(1))
+	v := view.Universal()
+	if def.View != nil {
+		v = def.View(env)
+	}
+
+	rt.cons.Register(pid, v, env)
+	rt.running.Add(1)
+	rt.spawned.Add(1)
+	rt.wg.Add(1)
+	p := &proc{rt: rt, pid: pid, def: def, view: v, env: env}
+	p.state.Store(int32(StateRunning))
+	rt.liveMu.Lock()
+	rt.live[pid] = p
+	rt.liveMu.Unlock()
+	go func() {
+		defer rt.wg.Done()
+		defer rt.running.Add(-1)
+		defer rt.cons.Unregister(pid)
+		defer func() {
+			rt.liveMu.Lock()
+			delete(rt.live, pid)
+			rt.liveMu.Unlock()
+		}()
+		if err := p.runSeq(rt.ctx, def.Body); err != nil && !isControl(err) {
+			rt.recordError(fmt.Errorf("process %s[%d]: %w", def.Name, pid, err))
+		}
+	}()
+	return pid, nil
+}
+
+// ProcessInfo describes one live process for introspection.
+type ProcessInfo struct {
+	PID   tuple.ProcessID
+	Type  string
+	State State
+}
+
+// Society returns a snapshot of the live processes and their states,
+// sorted by PID. Combined with the dataspace version, it diagnoses stalls:
+// if every process is blocked and no commits are happening, the program is
+// deadlocked — the failure mode the paper warns the community model about
+// ("individual decisions based on incomplete information can undermine the
+// communal objective and lead to premature termination or deadlock").
+func (rt *Runtime) Society() []ProcessInfo {
+	rt.liveMu.Lock()
+	out := make([]ProcessInfo, 0, len(rt.live))
+	for pid, p := range rt.live {
+		out = append(out, ProcessInfo{
+			PID:   pid,
+			Type:  p.def.Name,
+			State: State(p.state.Load()),
+		})
+	}
+	rt.liveMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+func isControl(err error) bool {
+	return errors.Is(err, errExit) || errors.Is(err, errAbort) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, consensus.ErrClosed)
+}
+
+func (rt *Runtime) recordError(err error) {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	if len(rt.errs) < rt.maxErr {
+		rt.errs = append(rt.errs, err)
+	}
+}
+
+// Errors returns runtime errors recorded from process bodies (malformed
+// queries, export violations under strict policy, …).
+func (rt *Runtime) Errors() []error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	out := make([]error, len(rt.errs))
+	copy(out, rt.errs)
+	return out
+}
+
+// Running returns the number of live processes.
+func (rt *Runtime) Running() int64 { return rt.running.Load() }
+
+// SpawnCount returns the total number of processes ever spawned.
+func (rt *Runtime) SpawnCount() uint64 { return rt.spawned.Load() }
+
+// Wait blocks until the process society is empty (every process has
+// terminated). Programs whose processes all terminate — like the paper's
+// examples — use this as the end-of-computation barrier.
+func (rt *Runtime) Wait() { rt.wg.Wait() }
+
+// WaitCtx is Wait with cancellation.
+func (rt *Runtime) WaitCtx(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { rt.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown cancels every process and waits for them to stop. The consensus
+// manager is left running if it was supplied externally; Close it
+// separately.
+func (rt *Runtime) Shutdown() {
+	rt.closed.Store(true)
+	rt.cancel()
+	rt.wg.Wait()
+}

@@ -1,0 +1,179 @@
+package process
+
+import (
+	"context"
+	"errors"
+
+	"github.com/sdl-lang/sdl/internal/consensus"
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/txn"
+)
+
+// runSelect executes the selection construct. It returns whether a branch
+// was selected; false with a nil error is the paper's "selection fails,
+// modeled as skip". Delayed and consensus guards make the selection block
+// until one guard commits. Multiple consensus guards (as in Sum1's phase
+// barrier) are offered as alternatives of a single consensus offer: when
+// the set fires, the first guard whose query succeeds is the one selected.
+func (p *proc) runSelect(ctx context.Context, branches []Branch, _ bool) (bool, error) {
+	var consensusIdx []int
+	hasBlocking := false
+	for i, b := range branches {
+		switch b.Guard.Kind {
+		case Consensus:
+			consensusIdx = append(consensusIdx, i)
+			hasBlocking = true
+		case Delayed:
+			hasBlocking = true
+		}
+	}
+
+	// First pass: attempt every non-consensus guard once.
+	if idx, res, err := p.tryGuards(branches); err != nil {
+		return false, err
+	} else if idx >= 0 {
+		return true, p.runBranch(ctx, branches[idx], res)
+	}
+	if !hasBlocking {
+		return false, nil // all guards immediate and all failed: skip
+	}
+
+	// Blocking loop: register interest, re-try, offer consensus, wait.
+	keys := p.guardInterestKeys(branches)
+	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		ch, cancel := p.rt.engine.Store().Wait(keys)
+
+		// Re-try after registration so a commit racing with the first pass
+		// is not lost.
+		idx, res, err := p.tryGuards(branches)
+		if err != nil {
+			cancel()
+			return false, err
+		}
+		if idx >= 0 {
+			cancel()
+			return true, p.runBranch(ctx, branches[idx], res)
+		}
+
+		// Offer the consensus guards (if any), as alternatives of a single
+		// offer, while the process is otherwise idle.
+		var offer *consensus.Offer
+		var offerDone <-chan struct{}
+		if len(consensusIdx) > 0 {
+			reqs := make([]txn.Request, len(consensusIdx))
+			for i, bi := range consensusIdx {
+				reqs[i] = p.request(branches[bi].Guard)
+			}
+			o, oerr := p.rt.cons.StartOfferAlts(reqs)
+			if oerr != nil {
+				cancel()
+				return false, oerr
+			}
+			offer = o
+			offerDone = o.Done()
+		}
+
+		firedBranch := func() (bool, error) {
+			res, oerr := offer.Result()
+			if oerr != nil {
+				return false, oerr
+			}
+			bi := consensusIdx[offer.Chosen()]
+			return true, p.runBranch(ctx, branches[bi], res)
+		}
+
+		restore := p.setState(StateBlockedSelect)
+		select {
+		case <-offerDone:
+			restore()
+			cancel()
+			return firedBranch()
+		case <-ch:
+			restore()
+			cancel()
+			if offer != nil && !offer.Withdraw() {
+				// The consensus fired while we were withdrawing: its effect
+				// is committed, so that guard is the selected one.
+				<-offer.Done()
+				return firedBranch()
+			}
+			// Dataspace changed: loop and re-try the guards.
+		case <-ctx.Done():
+			restore()
+			cancel()
+			if offer != nil && !offer.Withdraw() {
+				<-offer.Done()
+				return firedBranch()
+			}
+			return false, ctx.Err()
+		}
+	}
+}
+
+// tryGuards attempts each non-consensus guard once and returns the index
+// and result of the first that commits (-1 if none). The paper specifies
+// that among several executable guards "an arbitrary one (but only one) is
+// selected"; attempts start at a rotating offset so a repetition does not
+// starve later guards whose earlier siblings are always enabled.
+func (p *proc) tryGuards(branches []Branch) (int, txn.Result, error) {
+	start := int(p.selSeq % uint64(len(branches)))
+	p.selSeq++
+	for off := 0; off < len(branches); off++ {
+		i := (start + off) % len(branches)
+		b := branches[i]
+		if b.Guard.Kind == Consensus {
+			continue
+		}
+		res, err := p.rt.engine.Immediate(p.request(b.Guard))
+		if err != nil {
+			return -1, txn.Result{}, err
+		}
+		if res.OK {
+			return i, res, nil
+		}
+	}
+	return -1, txn.Result{}, nil
+}
+
+// runBranch executes a selected branch: the guard's actions, then the
+// branch body.
+func (p *proc) runBranch(ctx context.Context, b Branch, res txn.Result) error {
+	if err := p.runActions(ctx, b.Guard.Actions, res); err != nil {
+		return err
+	}
+	return p.runSeq(ctx, b.Body)
+}
+
+// guardInterestKeys unions the interest keys of every guard's query
+// patterns (positive and negated), with leads pinned when determined by
+// the process environment.
+func (p *proc) guardInterestKeys(branches []Branch) []dataspace.InterestKey {
+	var keys []dataspace.InterestKey
+	for _, b := range branches {
+		for _, pat := range b.Guard.Query.Patterns {
+			lead, known := pat.Lead(p.env)
+			keys = append(keys, dataspace.InterestOf(pat.Arity(), lead, known))
+		}
+	}
+	return keys
+}
+
+// runRepeat executes the repetition construct: the selection restarts
+// after each selected branch; a failed selection or an exit action
+// terminates it.
+func (p *proc) runRepeat(ctx context.Context, branches []Branch) error {
+	for {
+		selected, err := p.runSelect(ctx, branches, true)
+		switch {
+		case errors.Is(err, errExit):
+			return nil // exit terminates the guarded sequence and the repetition
+		case err != nil:
+			return err
+		case !selected:
+			return nil // selection failed: repetition terminates
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package refmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+// Differential testing: random confluent transaction sequences applied to
+// the production engine and to the reference model must produce identical
+// content multisets after every step. "Confluent" means the outcome does
+// not depend on which solution an ∃ query picks: each ∃ here either has a
+// unique match or all matches have identical content, and ∀ processes all
+// solutions; so the engine's arbitrary choice cannot diverge from the
+// model's deterministic one.
+
+var tags = []string{"a", "b", "c"}
+
+// op is one randomly generated confluent transaction.
+type op struct {
+	descr string
+	req   txn.Request
+	ref   Txn
+}
+
+func genOp(rng *rand.Rand) op {
+	tag := tuple.Atom(tags[rng.Intn(len(tags))])
+	val := rng.Int63n(6)
+	switch rng.Intn(5) {
+	case 0: // unconditional assert
+		a := []pattern.Pattern{pattern.P(pattern.C(tag), pattern.C(tuple.Int(val)))}
+		q := pattern.Query{Quant: pattern.Exists}
+		return op{
+			descr: fmt.Sprintf("assert <%s,%d>", tag, val),
+			req:   txn.Request{Proc: 1, View: view.Universal(), Query: q, Asserts: a},
+			ref:   Txn{Proc: 1, View: view.Universal(), Query: q, Asserts: a},
+		}
+	case 1: // ∃ retract of a specific content (all matches identical)
+		q := pattern.Q(pattern.R(pattern.C(tag), pattern.C(tuple.Int(val))))
+		return op{
+			descr: fmt.Sprintf("retract one <%s,%d>", tag, val),
+			req:   txn.Request{Proc: 1, View: view.Universal(), Query: q},
+			ref:   Txn{Proc: 1, View: view.Universal(), Query: q},
+		}
+	case 2: // ∀ move: retract all <tag, v> with v >= val, assert <moved, v+1>
+		q := pattern.QAll(pattern.R(pattern.C(tag), pattern.V("v"))).
+			Where(expr.Ge(expr.V("v"), expr.Const(tuple.Int(val))))
+		a := []pattern.Pattern{pattern.P(
+			pattern.C(tuple.Atom("moved")),
+			pattern.E(expr.Add(expr.V("v"), expr.Const(tuple.Int(1)))),
+		)}
+		return op{
+			descr: fmt.Sprintf("move all <%s,>=%d>", tag, val),
+			req:   txn.Request{Proc: 2, View: view.Universal(), Query: q, Asserts: a},
+			ref:   Txn{Proc: 2, View: view.Universal(), Query: q, Asserts: a},
+		}
+	case 3: // membership test with guarded negation (no effect)
+		q := pattern.Q(
+			pattern.P(pattern.C(tag), pattern.V("v")),
+			pattern.N(pattern.C(tag), pattern.V("w")).
+				Guarded(expr.Gt(expr.V("w"), expr.V("v"))),
+		)
+		return op{
+			descr: fmt.Sprintf("max-check <%s>", tag),
+			req:   txn.Request{Proc: 3, View: view.Universal(), Query: q},
+			ref:   Txn{Proc: 3, View: view.Universal(), Query: q},
+		}
+	default: // view-restricted ∀ retract through a bounded import
+		v := view.New(
+			view.Union(view.PatWhere(
+				pattern.P(pattern.C(tag), pattern.V("x")),
+				expr.Lt(expr.V("x"), expr.Const(tuple.Int(val))),
+			)),
+			view.Union(view.Pat(pattern.P(pattern.C(tuple.Atom("low")), pattern.W()))),
+		)
+		q := pattern.QAll(pattern.R(pattern.C(tag), pattern.V("v")))
+		a := []pattern.Pattern{
+			pattern.P(pattern.C(tuple.Atom("low")), pattern.V("v")),
+			pattern.P(pattern.C(tuple.Atom("dropped")), pattern.V("v")), // not exportable
+		}
+		return op{
+			descr: fmt.Sprintf("viewed move <%s,<%d>", tag, val),
+			req:   txn.Request{Proc: 4, View: v, Query: q, Asserts: a},
+			ref:   Txn{Proc: 4, View: v, Query: q, Asserts: a},
+		}
+	}
+}
+
+func sameMultiset(a, b map[uint64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDifferentialRandomSequences(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.Coarse, txn.Optimistic} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			for seedBase := int64(0); seedBase < 30; seedBase++ {
+				rng := rand.New(rand.NewSource(seedBase))
+				store := dataspace.New()
+				engine := txn.New(store, mode)
+				model := &Model{}
+
+				for step := 0; step < 60; step++ {
+					o := genOp(rng)
+					engRes, err := engine.Immediate(o.req)
+					if err != nil {
+						t.Fatalf("seed %d step %d (%s): engine: %v", seedBase, step, o.descr, err)
+					}
+					refRes, err := model.Apply(o.ref)
+					if err != nil {
+						t.Fatalf("seed %d step %d (%s): model: %v", seedBase, step, o.descr, err)
+					}
+					if engRes.OK != refRes.OK {
+						t.Fatalf("seed %d step %d (%s): OK %v vs model %v",
+							seedBase, step, o.descr, engRes.OK, refRes.OK)
+					}
+					if !sameMultiset(MultisetOf(store), model.Multiset()) {
+						t.Fatalf("seed %d step %d (%s): state diverged\nengine: %v\nmodel:  %v",
+							seedBase, step, o.descr, dump(store), model.All())
+					}
+				}
+			}
+		})
+	}
+}
+
+func dump(s *dataspace.Store) []string {
+	var out []string
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			out = append(out, inst.Tuple.String())
+			return true
+		})
+	})
+	return out
+}
+
+func TestModelBasics(t *testing.T) {
+	m := &Model{}
+	id := m.Assert(1, tuple.New(tuple.Atom("x"), tuple.Int(1)))
+	if m.Len() != 1 || id == 0 {
+		t.Fatalf("len=%d id=%d", m.Len(), id)
+	}
+	res, err := m.Apply(Txn{
+		Proc:  2,
+		View:  view.Universal(),
+		Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("x")), pattern.V("v"))),
+		Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("y")),
+			pattern.E(expr.Add(expr.V("v"), expr.Const(tuple.Int(1)))))},
+	})
+	if err != nil || !res.OK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	all := m.All()
+	if len(all) != 1 || !all[0].Tuple.Equal(tuple.New(tuple.Atom("y"), tuple.Int(2))) {
+		t.Errorf("state = %v", all)
+	}
+	if all[0].Owner != 2 {
+		t.Errorf("owner = %d", all[0].Owner)
+	}
+
+	// Failed transaction: no effect.
+	res, err = m.Apply(Txn{
+		Proc:  2,
+		View:  view.Universal(),
+		Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("missing")))),
+	})
+	if err != nil || res.OK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if m.Len() != 1 {
+		t.Error("failed txn changed the model")
+	}
+}
+
+func TestModelWindowRestriction(t *testing.T) {
+	m := &Model{}
+	m.Assert(1, tuple.New(tuple.Atom("year"), tuple.Int(90)))
+	v := view.New(
+		view.Union(view.PatWhere(
+			pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a")),
+			expr.Le(expr.V("a"), expr.Const(tuple.Int(87))),
+		)),
+		view.Everything(),
+	)
+	res, err := m.Apply(Txn{
+		Proc:  1,
+		View:  v,
+		Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+	})
+	if err != nil || res.OK {
+		t.Fatalf("window should hide year(90): %+v %v", res, err)
+	}
+}

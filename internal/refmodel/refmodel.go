@@ -1,0 +1,246 @@
+// Package refmodel is an executable reference semantics for SDL
+// transactions: a deliberately naive, obviously-correct model of the
+// dataspace (a plain slice of instances, no indexes, no locks) and of
+// one-transaction-at-a-time evaluation, translated as directly as possible
+// from the paper's definitions:
+//
+//	W  = Import(p) ∩ D
+//	(W_r, W_a) = q(W)
+//	D' = (D − W_r) ∪ (Export(p) ∩ W_a)
+//
+// The test suite uses it for differential testing: random transaction
+// sequences are applied to both the production engine and this model, and
+// the resulting configurations must be equal. The model is not exported
+// outside the repository's tests and benchmarks.
+package refmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+// Instance is one tuple instance of the model.
+type Instance struct {
+	ID    tuple.ID
+	Tuple tuple.Tuple
+	Owner tuple.ProcessID
+}
+
+// Model is the naive dataspace: an append-only slice with tombstones
+// compacted on demand. The zero value is an empty dataspace.
+type Model struct {
+	instances []Instance
+	nextID    tuple.ID
+}
+
+// Assert adds a tuple and returns its instance ID.
+func (m *Model) Assert(owner tuple.ProcessID, t tuple.Tuple) tuple.ID {
+	m.nextID++
+	m.instances = append(m.instances, Instance{ID: m.nextID, Tuple: t, Owner: owner})
+	return m.nextID
+}
+
+// Len returns the number of instances.
+func (m *Model) Len() int { return len(m.instances) }
+
+// All returns the instances sorted by ID.
+func (m *Model) All() []Instance {
+	out := make([]Instance, len(m.instances))
+	copy(out, m.instances)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// source adapts a window (import-filtered instance list) to
+// pattern.Source by brute force: every scan enumerates everything and
+// filters.
+type source struct {
+	insts []Instance
+}
+
+func (s source) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
+	for _, inst := range s.insts {
+		if inst.Tuple.Arity() != arity {
+			continue
+		}
+		if leadKnown && !inst.Tuple.Field(0).Equal(lead) {
+			continue
+		}
+		if !fn(inst.ID, inst.Tuple) {
+			return
+		}
+	}
+}
+
+// readerShim gives view matchers a dataspace.Reader over the model (for
+// dynamic views). Only the methods matchers actually use do real work.
+type readerShim struct {
+	insts []Instance
+}
+
+func (r readerShim) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
+	source{insts: r.insts}.Scan(arity, lead, leadKnown, fn)
+}
+
+func (r readerShim) Get(id tuple.ID) (dataspace.Instance, bool) {
+	for _, inst := range r.insts {
+		if inst.ID == id {
+			return dataspace.Instance{ID: inst.ID, Tuple: inst.Tuple, Owner: inst.Owner}, true
+		}
+	}
+	return dataspace.Instance{}, false
+}
+
+func (r readerShim) Each(fn func(dataspace.Instance) bool) {
+	for _, inst := range r.insts {
+		if !fn(dataspace.Instance{ID: inst.ID, Tuple: inst.Tuple, Owner: inst.Owner}) {
+			return
+		}
+	}
+}
+
+func (r readerShim) Arities() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, inst := range r.insts {
+		a := inst.Tuple.Arity()
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (r readerShim) Version() uint64 { return 0 }
+func (r readerShim) Len() int        { return len(r.insts) }
+
+// Txn is one transaction in the model's terms.
+type Txn struct {
+	Proc    tuple.ProcessID
+	View    view.View
+	Env     expr.Env
+	Query   pattern.Query
+	Asserts []pattern.Pattern
+}
+
+// Result reports the model's evaluation.
+type Result struct {
+	OK        bool
+	Env       expr.Env
+	Retracted []tuple.ID
+	Asserted  []tuple.ID
+}
+
+// Apply evaluates one transaction per the paper's definition and, on
+// success, applies its effect. On failure the model is unchanged.
+//
+// Solution choice is deterministic: among all solutions of an ∃ query the
+// one with the lexicographically smallest retraction-ID list (then
+// smallest environment rendering) is taken, so differential tests can
+// steer the production engine only when queries are confluent (the tests
+// use value-deterministic workloads).
+func (m *Model) Apply(tx Txn) (Result, error) {
+	rd := readerShim{insts: m.instances}
+
+	// W = Import(p) ∩ D.
+	var window []Instance
+	for _, inst := range m.instances {
+		if tx.View.Import.Admits(rd, tx.Env, inst.Tuple) {
+			window = append(window, inst)
+		}
+	}
+
+	var sols []pattern.Binding
+	err := pattern.Enumerate(tx.Query, source{insts: window}, tx.Env, func(b pattern.Binding) bool {
+		sols = append(sols, b)
+		return true
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if len(sols) == 0 {
+		return Result{Env: tx.Env}, nil
+	}
+	if tx.Query.Quant == pattern.Exists {
+		sols = sols[:1]
+	}
+
+	// W_r: union of retractions, deduplicated.
+	retract := map[tuple.ID]bool{}
+	for _, sol := range sols {
+		for _, id := range sol.RetractedIDs() {
+			retract[id] = true
+		}
+	}
+	// W_a ∩ Export(p).
+	var asserts []tuple.Tuple
+	for _, sol := range sols {
+		for _, ap := range tx.Asserts {
+			t, err := ap.Ground(sol.Env)
+			if err != nil {
+				return Result{}, fmt.Errorf("refmodel: ground: %w", err)
+			}
+			if tx.View.Exports(rd, sol.Env, t) {
+				asserts = append(asserts, t)
+			}
+		}
+	}
+
+	// D' = (D − W_r) ∪ exports.
+	kept := m.instances[:0]
+	for _, inst := range m.instances {
+		if !retract[inst.ID] {
+			kept = append(kept, inst)
+		}
+	}
+	m.instances = kept
+	res := Result{OK: true, Env: tx.Env}
+	if tx.Query.Quant == pattern.Exists {
+		res.Env = sols[0].Env
+	}
+	for id := range retract {
+		res.Retracted = append(res.Retracted, id)
+	}
+	sort.Slice(res.Retracted, func(i, j int) bool { return res.Retracted[i] < res.Retracted[j] })
+	for _, t := range asserts {
+		res.Asserted = append(res.Asserted, m.Assert(tx.Proc, t))
+	}
+	return res, nil
+}
+
+// Multiset returns the content multiset (hash → count), ignoring instance
+// identity — the right equality notion for differential tests, since the
+// production engine and the model allocate IDs differently once their
+// choices diverge.
+func (m *Model) Multiset() map[uint64]int {
+	out := make(map[uint64]int, len(m.instances))
+	for _, inst := range m.instances {
+		out[inst.Tuple.Hash()]++
+	}
+	return out
+}
+
+// MultisetOf computes the same content multiset for a production store.
+func MultisetOf(s *dataspace.Store) map[uint64]int {
+	out := map[uint64]int{}
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			out[inst.Tuple.Hash()]++
+			return true
+		})
+	})
+	return out
+}
+
+// Compile-time checks.
+var (
+	_ pattern.Source   = source{}
+	_ dataspace.Reader = readerShim{}
+)

@@ -1,0 +1,158 @@
+package regionlabel
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/workload"
+)
+
+const cut = 100
+
+func newRT(t *testing.T, mode txn.Mode) *process.Runtime {
+	t.Helper()
+	s := dataspace.New()
+	rt := process.NewRuntime(txn.New(s, mode), nil)
+	t.Cleanup(func() {
+		rt.Shutdown()
+		rt.Consensus().Close()
+	})
+	return rt
+}
+
+func checkAgainstReference(t *testing.T, im *workload.Image, got []int64) {
+	t.Helper()
+	want := workload.ReferenceLabels(im, cut)
+	for p := range want {
+		if got[p] != want[p] {
+			t.Fatalf("pixel %d: label %d, want %d", p, got[p], want[p])
+		}
+	}
+}
+
+func TestWorkerModelMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ w, h, blobs int }{
+		{4, 4, 1},
+		{8, 8, 2},
+		{12, 12, 3},
+	} {
+		im := workload.GenImage(tc.w, tc.h, tc.blobs, int64(tc.w*tc.h))
+		rt := newRT(t, txn.Coarse)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		res, err := RunWorker(ctx, rt, im, cut)
+		cancel()
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.w, tc.h, err)
+		}
+		checkAgainstReference(t, im, res.Labels)
+		if res.Regions != workload.RegionCount(workload.ReferenceLabels(im, cut)) {
+			t.Errorf("%dx%d: regions = %d", tc.w, tc.h, res.Regions)
+		}
+		if res.FirstRegion != res.Total {
+			t.Error("worker model has no early completion signal")
+		}
+	}
+}
+
+func TestWorkerModelUniformImage(t *testing.T) {
+	im := &workload.Image{W: 4, H: 3, Pix: make([]int64, 12)}
+	rt := newRT(t, txn.Coarse)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := RunWorker(ctx, rt, im, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions != 1 {
+		t.Errorf("regions = %d", res.Regions)
+	}
+	for _, l := range res.Labels {
+		if l != 11 {
+			t.Fatalf("labels = %v", res.Labels)
+		}
+	}
+}
+
+func TestCommunityModelMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ w, h, blobs int }{
+		{3, 3, 1},
+		{6, 6, 2},
+		{8, 8, 2},
+	} {
+		im := workload.GenImage(tc.w, tc.h, tc.blobs, int64(tc.w+tc.h))
+		rt := newRT(t, txn.Coarse)
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		res, err := RunCommunity(ctx, rt, im, cut)
+		cancel()
+		if err != nil {
+			t.Fatalf("%dx%d: %v", tc.w, tc.h, err)
+		}
+		checkAgainstReference(t, im, res.Labels)
+		want := workload.RegionCount(workload.ReferenceLabels(im, cut))
+		if res.Regions != want {
+			t.Errorf("%dx%d: regions = %d, want %d", tc.w, tc.h, res.Regions, want)
+		}
+		// One consensus firing per region.
+		if fires := rt.Consensus().Fires(); int(fires) != want {
+			t.Errorf("%dx%d: consensus fires = %d, want %d", tc.w, tc.h, fires, want)
+		}
+		if res.FirstRegion > res.Total {
+			t.Error("first region after total?")
+		}
+	}
+}
+
+func TestCommunitySinglePixel(t *testing.T) {
+	im := &workload.Image{W: 1, H: 1, Pix: []int64{200}}
+	rt := newRT(t, txn.Coarse)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := RunCommunity(ctx, rt, im, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions != 1 || res.Labels[0] != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestCommunityThresholdsDiscarded(t *testing.T) {
+	// "When the labeling is complete in a given region, the threshold
+	// values are discarded."
+	im := workload.GenImage(5, 5, 1, 3)
+	rt := newRT(t, txn.Coarse)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := RunCommunity(ctx, rt, im, cut); err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Engine().Store()
+	count := 0
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			if inst.Tuple.Arity() == 3 && inst.Tuple.Field(1).Equal(atomThreshold) {
+				count++
+			}
+			return true
+		})
+	})
+	if count != 0 {
+		t.Errorf("%d threshold tuples left", count)
+	}
+}
+
+func TestWorkerOptimisticMode(t *testing.T) {
+	im := workload.GenImage(8, 8, 2, 99)
+	rt := newRT(t, txn.Optimistic)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := RunWorker(ctx, rt, im, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, im, res.Labels)
+}

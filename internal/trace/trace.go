@@ -1,0 +1,206 @@
+// Package trace records the evolution of a dataspace for debugging,
+// testing, and visualization — the paper's motivating concern ("there is
+// no other way for humans to assimilate voluminous information about the
+// continuously changing program state"), and the reason SDL attaches a
+// unique identifier and owner to every tuple instance.
+//
+// A Recorder subscribes to a store's commit hooks and keeps an append-only
+// event log: one event per tuple assertion or retraction, stamped with the
+// commit version and owning process. The log supports per-tuple histories,
+// per-process activity summaries, full-state replay at any past version,
+// and text/JSON export.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Kind distinguishes assertion from retraction events.
+type Kind uint8
+
+// Event kinds.
+const (
+	Assert Kind = iota + 1
+	Retract
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Assert:
+		return "assert"
+	case Retract:
+		return "retract"
+	default:
+		return "?"
+	}
+}
+
+// Event is one tuple assertion or retraction.
+type Event struct {
+	Seq     uint64          `json:"seq"`
+	Version uint64          `json:"version"`
+	Kind    Kind            `json:"kind"`
+	ID      tuple.ID        `json:"tupleId"`
+	Owner   tuple.ProcessID `json:"owner"` // owner of the tuple instance
+	Actor   tuple.ProcessID `json:"actor"` // process that issued the commit
+	Tuple   string          `json:"tuple"` // rendered tuple
+	fields  tuple.Tuple     // retained for replay
+}
+
+// Recorder is an append-only commit log. Attach it to a store before the
+// store is shared between goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+	limit  int // 0 = unbounded
+}
+
+// NewRecorder returns a recorder keeping at most limit events (0 =
+// unbounded). When the limit is reached, recording stops (the prefix of
+// the run is kept — replay needs a prefix, not a suffix).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Attach subscribes the recorder to the store's commits.
+func (r *Recorder) Attach(s *dataspace.Store) {
+	s.OnCommit(r.observe)
+}
+
+func (r *Recorder) observe(rec dataspace.CommitRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	add := func(kind Kind, inst dataspace.Instance) {
+		if r.limit > 0 && len(r.events) >= r.limit {
+			return
+		}
+		r.seq++
+		r.events = append(r.events, Event{
+			Seq:     r.seq,
+			Version: rec.Version,
+			Kind:    kind,
+			ID:      inst.ID,
+			Owner:   inst.Owner,
+			Actor:   rec.Owner,
+			Tuple:   inst.Tuple.String(),
+			fields:  inst.Tuple,
+		})
+	}
+	for _, inst := range rec.Deleted {
+		add(Retract, inst)
+	}
+	for _, inst := range rec.Inserted {
+		add(Assert, inst)
+	}
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the log.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// History returns the events affecting one tuple instance, in order —
+// typically an assert followed (possibly) by a retract.
+func (r *Recorder) History(id tuple.ID) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OwnerActivity summarizes per-process activity: tuples asserted and
+// retractions performed (as the committing actor).
+type OwnerActivity struct {
+	Process  tuple.ProcessID
+	Asserts  int
+	Retracts int
+}
+
+// ByActor aggregates activity per committing process, sorted by process ID.
+func (r *Recorder) ByActor() []OwnerActivity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := make(map[tuple.ProcessID]*OwnerActivity)
+	for _, e := range r.events {
+		a := agg[e.Actor]
+		if a == nil {
+			a = &OwnerActivity{Process: e.Actor}
+			agg[e.Actor] = a
+		}
+		if e.Kind == Assert {
+			a.Asserts++
+		} else {
+			a.Retracts++
+		}
+	}
+	out := make([]OwnerActivity, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Process < out[j].Process })
+	return out
+}
+
+// ReplayAt reconstructs the multiset of tuple instances present after the
+// given version committed (version 0 = empty initial dataspace). Only
+// meaningful when the recorder observed the store from its creation.
+func (r *Recorder) ReplayAt(version uint64) map[tuple.ID]tuple.Tuple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	state := make(map[tuple.ID]tuple.Tuple)
+	for _, e := range r.events {
+		if e.Version > version {
+			break
+		}
+		switch e.Kind {
+		case Assert:
+			state[e.ID] = e.fields
+		case Retract:
+			delete(state, e.ID)
+		}
+	}
+	return state
+}
+
+// WriteText renders the log as one line per event.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.Events() {
+		_, err := fmt.Fprintf(w, "%6d v%-6d %-7s #%-6d by P%-4d %s\n",
+			e.Seq, e.Version, e.Kind, e.ID, e.Actor, e.Tuple)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the log as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.Events())
+}

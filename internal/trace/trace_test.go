@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func setup(limit int) (*dataspace.Store, *Recorder) {
+	s := dataspace.New()
+	r := NewRecorder(limit)
+	r.Attach(s)
+	return s, r
+}
+
+func TestRecorderObservesAssertsAndRetracts(t *testing.T) {
+	s, r := setup(0)
+	ids := s.Assert(3, tuple.New(tuple.Atom("a"), tuple.Int(1)))
+	_ = s.Update(4, func(w dataspace.Writer) error { return w.Delete(ids[0]) })
+
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != Assert || events[0].Owner != 3 || events[0].Actor != 3 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1].Kind != Retract || events[1].Actor != 4 || events[1].Owner != 3 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+	if events[0].Seq >= events[1].Seq {
+		t.Error("sequence not monotonic")
+	}
+}
+
+func TestHistoryTracksInstanceLifecycle(t *testing.T) {
+	s, r := setup(0)
+	ids := s.Assert(1, tuple.New(tuple.Atom("x")))
+	s.Assert(1, tuple.New(tuple.Atom("y")))
+	_ = s.Update(2, func(w dataspace.Writer) error { return w.Delete(ids[0]) })
+
+	h := r.History(ids[0])
+	if len(h) != 2 || h[0].Kind != Assert || h[1].Kind != Retract {
+		t.Errorf("history = %+v", h)
+	}
+}
+
+func TestReplayAt(t *testing.T) {
+	s, r := setup(0)
+	ids := s.Assert(1, tuple.New(tuple.Atom("a")))   // v1
+	s.Assert(1, tuple.New(tuple.Atom("b")))          // v2
+	_ = s.Update(1, func(w dataspace.Writer) error { // v3
+		return w.Delete(ids[0])
+	})
+
+	if got := r.ReplayAt(0); len(got) != 0 {
+		t.Errorf("v0 state = %v", got)
+	}
+	if got := r.ReplayAt(1); len(got) != 1 {
+		t.Errorf("v1 state = %v", got)
+	}
+	if got := r.ReplayAt(2); len(got) != 2 {
+		t.Errorf("v2 state = %v", got)
+	}
+	v3 := r.ReplayAt(3)
+	if len(v3) != 1 {
+		t.Fatalf("v3 state = %v", v3)
+	}
+	for _, tp := range v3 {
+		if !tp.Equal(tuple.New(tuple.Atom("b"))) {
+			t.Errorf("v3 tuple = %v", tp)
+		}
+	}
+	// Replay must agree with the live store.
+	if len(r.ReplayAt(s.Version())) != s.Len() {
+		t.Error("replay at head disagrees with store")
+	}
+}
+
+func TestByActor(t *testing.T) {
+	s, r := setup(0)
+	s.Assert(2, tuple.New(tuple.Atom("a")), tuple.New(tuple.Atom("b")))
+	ids := s.Assert(5, tuple.New(tuple.Atom("c")))
+	_ = s.Update(5, func(w dataspace.Writer) error { return w.Delete(ids[0]) })
+
+	acts := r.ByActor()
+	if len(acts) != 2 {
+		t.Fatalf("actors = %+v", acts)
+	}
+	if acts[0].Process != 2 || acts[0].Asserts != 2 || acts[0].Retracts != 0 {
+		t.Errorf("actor 2 = %+v", acts[0])
+	}
+	if acts[1].Process != 5 || acts[1].Asserts != 1 || acts[1].Retracts != 1 {
+		t.Errorf("actor 5 = %+v", acts[1])
+	}
+}
+
+func TestLimitKeepsPrefix(t *testing.T) {
+	s, r := setup(3)
+	for i := 0; i < 10; i++ {
+		s.Assert(1, tuple.New(tuple.Int(int64(i))))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("kept suffix, not prefix: %+v", events)
+		}
+	}
+}
+
+func TestWriteTextAndJSON(t *testing.T) {
+	s, r := setup(0)
+	s.Assert(1, tuple.New(tuple.Atom("year"), tuple.Int(87)))
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "<year, 87>") || !strings.Contains(txt.String(), "assert") {
+		t.Errorf("text = %q", txt.String())
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 || decoded[0]["kind"] != float64(Assert) {
+		t.Errorf("json = %v", decoded)
+	}
+}

@@ -1,0 +1,159 @@
+package tuple
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// ID uniquely identifies one tuple *instance* in a dataspace. The paper
+// attaches a unique tuple identifier to every asserted tuple so that
+// ownership can be determined and debugging tools can track instances;
+// application programs typically ignore it.
+type ID uint64
+
+// NoID is the identifier of a tuple that has not been asserted.
+const NoID ID = 0
+
+// ProcessID identifies a process in the process society. The zero value
+// identifies "the environment" (tuples asserted from outside any process,
+// e.g. initial dataspace contents).
+type ProcessID uint64
+
+// Environment is the pseudo-process that owns initial dataspace contents.
+const Environment ProcessID = 0
+
+// Tuple is an immutable finite sequence of values. The zero Tuple is the
+// empty tuple.
+type Tuple struct {
+	fields []Value
+}
+
+// New builds a tuple from the given values. The slice is copied, so the
+// caller may reuse it.
+func New(fields ...Value) Tuple {
+	cp := make([]Value, len(fields))
+	copy(cp, fields)
+	return Tuple{fields: cp}
+}
+
+// Make builds a tuple from native Go values via Of. It returns an error if
+// any field has an unsupported type.
+func Make(fields ...any) (Tuple, error) {
+	vals := make([]Value, len(fields))
+	for i, f := range fields {
+		v, err := Of(f)
+		if err != nil {
+			return Tuple{}, err
+		}
+		vals[i] = v
+	}
+	return Tuple{fields: vals}, nil
+}
+
+// MustMake is Make but panics on unsupported field types; for tests and
+// examples with statically-known literals.
+func MustMake(fields ...any) Tuple {
+	t, err := Make(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Arity returns the number of fields.
+func (t Tuple) Arity() int { return len(t.fields) }
+
+// Field returns the i-th field. It panics if i is out of range, mirroring
+// slice indexing.
+func (t Tuple) Field(i int) Value { return t.fields[i] }
+
+// Fields returns a copy of the field slice.
+func (t Tuple) Fields() []Value {
+	cp := make([]Value, len(t.fields))
+	copy(cp, t.fields)
+	return cp
+}
+
+// Equal reports field-wise equality (using Value.Equal, so 2 and 2.0 match).
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t.fields) != len(u.fields) {
+		return false
+	}
+	for i := range t.fields {
+		if !t.fields[i].Equal(u.fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples first by arity, then lexicographically by field.
+func (t Tuple) Compare(u Tuple) int {
+	if d := len(t.fields) - len(u.fields); d != 0 {
+		if d < 0 {
+			return -1
+		}
+		return 1
+	}
+	for i := range t.fields {
+		if c := t.fields[i].Compare(u.fields[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Hash returns a 64-bit content hash of the tuple, suitable for grouping
+// identical tuples in multiset accounting. Values that are Equal hash
+// equal (numeric values hash through their float64 representation).
+func (t Tuple) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	for _, v := range t.fields {
+		switch v.kind {
+		case KindAtom:
+			buf[0] = 'a'
+			_, _ = h.Write(buf[:1])
+			_, _ = h.Write([]byte(v.str))
+		case KindString:
+			buf[0] = 's'
+			_, _ = h.Write(buf[:1])
+			_, _ = h.Write([]byte(v.str))
+		case KindBool:
+			buf[0] = 'b'
+			buf[1] = byte(v.num)
+			_, _ = h.Write(buf[:2])
+		case KindInt, KindFloat:
+			// Hash through float64 so Int(2) and Float(2.0) collide,
+			// consistent with Equal.
+			n, _ := v.Numeric()
+			bits := mathFloat64bits(n)
+			buf[0] = 'n'
+			for i := 0; i < 8; i++ {
+				buf[1+i] = byte(bits >> (8 * i))
+			}
+			_, _ = h.Write(buf[:9])
+		default:
+			buf[0] = '?'
+			_, _ = h.Write(buf[:1])
+		}
+		buf[0] = 0xFF // field separator
+		_, _ = h.Write(buf[:1])
+	}
+	return h.Sum64()
+}
+
+// String renders the tuple in the paper's angle-bracket notation,
+// e.g. <year, 87>.
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range t.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCopiesFields(t *testing.T) {
+	fields := []Value{Int(1), Int(2)}
+	tp := New(fields...)
+	fields[0] = Int(99)
+	if got, _ := tp.Field(0).AsInt(); got != 1 {
+		t.Errorf("tuple aliased caller slice: field 0 = %d", got)
+	}
+}
+
+func TestFieldsReturnsCopy(t *testing.T) {
+	tp := New(Int(1), Int(2))
+	f := tp.Fields()
+	f[0] = Int(99)
+	if got, _ := tp.Field(0).AsInt(); got != 1 {
+		t.Errorf("Fields leaked internal slice: field 0 = %d", got)
+	}
+}
+
+func TestMakeAndString(t *testing.T) {
+	tp, err := Make("year", 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make converts Go strings to string values, so expect quotes.
+	if got := tp.String(); got != `<"year", 87>` {
+		t.Errorf("String() = %s", got)
+	}
+	tp2 := New(Atom("year"), Int(87))
+	if got := tp2.String(); got != "<year, 87>" {
+		t.Errorf("String() = %s", got)
+	}
+}
+
+func TestMakeError(t *testing.T) {
+	if _, err := Make("a", []int{1}); err == nil {
+		t.Error("Make with unsupported field should fail")
+	}
+}
+
+func TestMustMakePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMake should panic")
+		}
+	}()
+	MustMake(map[string]int{})
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := New(Atom("k"), Int(2))
+	b := New(Atom("k"), Float(2.0))
+	c := New(Atom("k"), Int(3))
+	d := New(Atom("k"))
+	if !a.Equal(b) {
+		t.Error("numeric cross-kind tuple equality failed")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal tuples reported equal")
+	}
+}
+
+func TestTupleCompare(t *testing.T) {
+	a := New(Atom("a"))
+	b := New(Atom("a"), Int(1))
+	c := New(Atom("a"), Int(2))
+	if a.Compare(b) != -1 || b.Compare(a) != 1 {
+		t.Error("shorter tuple should order first")
+	}
+	if b.Compare(c) != -1 || c.Compare(b) != 1 || b.Compare(b) != 0 {
+		t.Error("lexicographic field ordering failed")
+	}
+}
+
+func TestHashEqualityConsistency(t *testing.T) {
+	a := New(Atom("k"), Int(2))
+	b := New(Atom("k"), Float(2.0))
+	if a.Hash() != b.Hash() {
+		t.Error("Equal tuples must hash equal")
+	}
+	c := New(Atom("k"), Int(3))
+	if a.Hash() == c.Hash() {
+		t.Error("distinct tuples should (almost surely) hash distinct")
+	}
+	// Field-boundary confusion: <ab> vs <a, b> must differ.
+	x := New(Atom("ab"))
+	y := New(Atom("a"), Atom("b"))
+	if x.Hash() == y.Hash() {
+		t.Error("field separator missing from hash")
+	}
+}
+
+// Generate implements quick.Generator for Tuple.
+func (Tuple) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(5)
+	fields := make([]Value, n)
+	for i := range fields {
+		fields[i] = randomValue(r)
+	}
+	return reflect.ValueOf(New(fields...))
+}
+
+func TestQuickHashRespectsEqual(t *testing.T) {
+	f := func(a, b Tuple) bool {
+		if a.Equal(b) {
+			return a.Hash() == b.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTupleCompareAntisymmetric(t *testing.T) {
+	f := func(a, b Tuple) bool {
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

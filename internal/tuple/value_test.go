@@ -1,0 +1,204 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"atom", Atom("year"), KindAtom, "year"},
+		{"int", Int(87), KindInt, "87"},
+		{"negative int", Int(-3), KindInt, "-3"},
+		{"float", Float(2.5), KindFloat, "2.5"},
+		{"string", String("hello"), KindString, `"hello"`},
+		{"bool true", Bool(true), KindBool, "true"},
+		{"bool false", Bool(false), KindBool, "false"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Kind(); got != tc.kind {
+				t.Errorf("Kind() = %v, want %v", got, tc.kind)
+			}
+			if got := tc.v.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+			if !tc.v.IsValid() {
+				t.Error("IsValid() = false, want true")
+			}
+		})
+	}
+}
+
+func TestZeroValueIsInvalid(t *testing.T) {
+	var v Value
+	if v.IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+	if v.Kind() != KindInvalid {
+		t.Errorf("zero Value kind = %v", v.Kind())
+	}
+}
+
+func TestValueAccessorMismatch(t *testing.T) {
+	v := Atom("x")
+	if _, ok := v.AsInt(); ok {
+		t.Error("AsInt on atom should fail")
+	}
+	if _, ok := v.AsFloat(); ok {
+		t.Error("AsFloat on atom should fail")
+	}
+	if _, ok := v.AsBool(); ok {
+		t.Error("AsBool on atom should fail")
+	}
+	if _, ok := v.AsString(); ok {
+		t.Error("AsString on atom should fail")
+	}
+	if name, ok := v.AsAtom(); !ok || name != "x" {
+		t.Errorf("AsAtom = %q, %v", name, ok)
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should Equal Float(2.0)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not Equal Float(2.5)")
+	}
+	if Atom("2").Equal(Int(2)) {
+		t.Error("Atom(\"2\") should not Equal Int(2)")
+	}
+	if String("a").Equal(Atom("a")) {
+		t.Error("String and Atom with same payload must differ")
+	}
+}
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	// Total order: atoms (by name) < numbers (numeric, int/float mixed)
+	// < strings < bools.
+	ordered := []Value{
+		Atom("alpha"), Atom("beta"),
+		Int(-5), Float(-1.5), Int(0), Float(0.5), Int(1), Int(2), Float(9.5),
+		String("alpha"),
+		Bool(false), Bool(true),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			var want int
+			switch {
+			case i < j:
+				want = -1
+			case i > j:
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestOfConversions(t *testing.T) {
+	tests := []struct {
+		in   any
+		want Value
+	}{
+		{5, Int(5)},
+		{int64(7), Int(7)},
+		{1.5, Float(1.5)},
+		{"s", String("s")},
+		{true, Bool(true)},
+		{Atom("a"), Atom("a")},
+	}
+	for _, tc := range tests {
+		got, err := Of(tc.in)
+		if err != nil {
+			t.Fatalf("Of(%v): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("Of(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := Of([]int{1}); err == nil {
+		t.Error("Of(slice) should fail")
+	}
+}
+
+func TestMustOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOf should panic on unsupported type")
+		}
+	}()
+	MustOf(struct{}{})
+}
+
+// randomValue produces an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Atom(randomName(r))
+	case 1:
+		return Int(r.Int63n(1000) - 500)
+	case 2:
+		return Float(float64(r.Int63n(1000)-500) / 4)
+	case 3:
+		return String(randomName(r))
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func randomName(r *rand.Rand) string {
+	letters := "abcdefgxyz"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// Generate implements quick.Generator for Value.
+func (Value) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomValue(r))
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(a, b Value) bool {
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareReflexiveEqualConsistent(t *testing.T) {
+	f := func(a Value) bool {
+		return a.Compare(a) == 0 && a.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualImpliesCompareZero(t *testing.T) {
+	f := func(a, b Value) bool {
+		if a.Equal(b) {
+			return a.Compare(b) == 0
+		}
+		return a.Compare(b) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package txn
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+// Bank stress: random concurrent transfers between account tuples must
+// preserve the total balance under both concurrency-control modes, never
+// produce a negative balance (the guard forbids overdrafts), and the
+// final state must equal the commit-log replay — a strong serializability
+// and atomicity check.
+func TestBankTransferStress(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		const (
+			accounts = 8
+			workers  = 6
+			transfer = 60
+			initial  = 100
+		)
+		s := dataspace.New()
+		// The recorder-equivalent: track the log through commit hooks.
+		type logEntry struct {
+			inserted, deleted []dataspace.Instance
+		}
+		var logMu sync.Mutex
+		var log []logEntry
+		s.OnCommit(func(rec dataspace.CommitRecord) {
+			logMu.Lock()
+			log = append(log, logEntry{inserted: rec.Inserted, deleted: rec.Deleted})
+			logMu.Unlock()
+		})
+		acct := tuple.Atom("acct")
+		for i := 0; i < accounts; i++ {
+			s.Assert(tuple.Environment, tuple.New(acct, tuple.Int(int64(i)), tuple.Int(initial)))
+		}
+		e := New(s, mode)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < transfer; i++ {
+					from := rng.Int63n(accounts)
+					to := rng.Int63n(accounts)
+					if from == to {
+						continue
+					}
+					amt := 1 + rng.Int63n(5)
+					// Atomic guarded transfer: fails (no effect) when the
+					// source balance is insufficient.
+					res, err := e.Delayed(context.Background(), Request{
+						Proc: tuple.ProcessID(w + 1),
+						View: view.Universal(),
+						Query: pattern.Q(
+							pattern.R(pattern.C(acct), pattern.C(tuple.Int(from)), pattern.V("x")).
+								Guarded(expr.Ge(expr.V("x"), expr.Const(tuple.Int(amt)))),
+							pattern.R(pattern.C(acct), pattern.C(tuple.Int(to)), pattern.V("y")),
+						),
+						Asserts: []pattern.Pattern{
+							pattern.P(pattern.C(acct), pattern.C(tuple.Int(from)),
+								pattern.E(expr.Sub(expr.V("x"), expr.Const(tuple.Int(amt))))),
+							pattern.P(pattern.C(acct), pattern.C(tuple.Int(to)),
+								pattern.E(expr.Add(expr.V("y"), expr.Const(tuple.Int(amt))))),
+						},
+					})
+					if err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+					if !res.OK {
+						t.Error("delayed transfer reported failure")
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Invariant 1: conservation and non-negativity.
+		var total int64
+		balances := map[int64]int64{}
+		s.Snapshot(func(r dataspace.Reader) {
+			r.Each(func(inst dataspace.Instance) bool {
+				id, _ := inst.Tuple.Field(1).AsInt()
+				v, _ := inst.Tuple.Field(2).AsInt()
+				balances[id] = v
+				total += v
+				return true
+			})
+		})
+		if total != accounts*initial {
+			t.Errorf("total = %d, want %d", total, accounts*initial)
+		}
+		if len(balances) != accounts {
+			t.Errorf("accounts = %d", len(balances))
+		}
+		for id, v := range balances {
+			if v < 0 {
+				t.Errorf("account %d overdrawn: %d", id, v)
+			}
+		}
+
+		// Invariant 2: replaying the commit log reproduces the final state
+		// exactly (every commit was atomic and fully recorded).
+		replay := map[tuple.ID]tuple.Tuple{}
+		logMu.Lock()
+		for _, entry := range log {
+			for _, del := range entry.deleted {
+				delete(replay, del.ID)
+			}
+			for _, ins := range entry.inserted {
+				replay[ins.ID] = ins.Tuple
+			}
+		}
+		logMu.Unlock()
+		if len(replay) != s.Len() {
+			t.Fatalf("replay has %d instances, store %d", len(replay), s.Len())
+		}
+		s.Snapshot(func(r dataspace.Reader) {
+			r.Each(func(inst dataspace.Instance) bool {
+				if got, ok := replay[inst.ID]; !ok || !got.Equal(inst.Tuple) {
+					t.Errorf("replay mismatch at %d: %v vs %v", inst.ID, got, inst.Tuple)
+				}
+				return true
+			})
+		})
+	})
+}
+
+// Random mixed workload: asserts, guarded retracts, and reads race; the
+// store's Len must equal asserts minus retracts observed through results.
+func TestMixedWorkloadAccounting(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		e := New(s, mode)
+		const workers = 4
+		const ops = 150
+		var inserted, removed int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100 + w)))
+				for i := 0; i < ops; i++ {
+					switch rng.Intn(3) {
+					case 0: // assert
+						res, err := e.Immediate(Request{
+							Proc:  tuple.ProcessID(w + 1),
+							View:  view.Universal(),
+							Query: pattern.Query{Quant: pattern.Exists},
+							Asserts: []pattern.Pattern{pattern.P(
+								pattern.C(tuple.Atom("item")), pattern.C(tuple.Int(rng.Int63n(50))))},
+						})
+						if err != nil || !res.OK {
+							t.Errorf("assert: %v %v", res.OK, err)
+							return
+						}
+						mu.Lock()
+						inserted++
+						mu.Unlock()
+					case 1: // retract one, if any
+						res, err := e.Immediate(Request{
+							Proc:  tuple.ProcessID(w + 1),
+							View:  view.Universal(),
+							Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("item")), pattern.W())),
+						})
+						if err != nil {
+							t.Errorf("retract: %v", err)
+							return
+						}
+						if res.OK {
+							mu.Lock()
+							removed++
+							mu.Unlock()
+						}
+					default: // read
+						if _, err := e.Immediate(Request{
+							Proc:  tuple.ProcessID(w + 1),
+							View:  view.Universal(),
+							Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("item")), pattern.V("v"))),
+						}); err != nil {
+							t.Errorf("read: %v", err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := int64(s.Len()); got != inserted-removed {
+			t.Errorf("len = %d, inserted-removed = %d", got, inserted-removed)
+		}
+	})
+}

@@ -1,0 +1,449 @@
+// Package txn implements SDL's atomic transactions over a dataspace viewed
+// through a process window.
+//
+// A transaction consists of a query (binding query + test query, under an
+// ∃ or ∀ quantifier), the retractions implied by the query's retract tags,
+// and a list of assertion patterns grounded under the solution environment.
+// All four sub-actions — query evaluation, retraction, assertion, and the
+// caller's local actions — appear as a single atomic transformation of the
+// dataspace: transactions are serializable.
+//
+// Operational types:
+//
+//   - Immediate ('→'): evaluated once; either succeeds or fails with no
+//     effect (Engine.Immediate).
+//   - Delayed ('⇒'): blocks the issuing process until a successful
+//     evaluation is possible (Engine.Delayed). Weak fairness: a transaction
+//     that remains enabled is eventually executed.
+//   - Consensus ('⇑') is built on top of this package by
+//     internal/consensus.
+//
+// Two concurrency-control modes are provided (experiment E9 compares
+// them): Coarse evaluates every transaction under the store's write lock;
+// Optimistic evaluates the query under a read lock first and re-validates
+// the dataspace version at commit time, falling back to an under-lock
+// re-evaluation when a concurrent commit intervened.
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+// Mode selects the engine's concurrency-control strategy.
+type Mode uint8
+
+// Concurrency-control modes.
+const (
+	// Coarse serializes all transactions behind the store's write lock:
+	// the reference semantics, trivially serializable.
+	Coarse Mode = iota + 1
+	// Optimistic evaluates queries under a read lock against a version
+	// snapshot and validates at commit; concurrent read-phase evaluation
+	// proceeds in parallel.
+	Optimistic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Coarse:
+		return "coarse"
+	case Optimistic:
+		return "optimistic"
+	default:
+		return "invalid"
+	}
+}
+
+// ExportPolicy controls what happens when a transaction asserts a tuple
+// outside the process's export set.
+type ExportPolicy uint8
+
+// Export policies.
+const (
+	// ExportDrop silently drops disallowed assertions — the formal
+	// semantics D' = (D − W_r) ∪ (Export(p) ∩ W_a).
+	ExportDrop ExportPolicy = iota
+	// ExportError fails the transaction instead; a debugging aid.
+	ExportError
+)
+
+// ErrExportViolation reports an assertion outside the export set under
+// ExportError policy.
+var ErrExportViolation = errors.New("txn: assertion outside export set")
+
+// errFailed is the internal sentinel that rolls back a failed evaluation.
+var errFailed = errors.New("txn: query failed")
+
+// Request describes one transaction issued by a process.
+type Request struct {
+	// Proc is the issuing process (owner of asserted tuples).
+	Proc tuple.ProcessID
+	// View is the issuing process's view; use view.Universal() when the
+	// process does not restrict it.
+	View view.View
+	// Env carries the process parameters and let-constants visible to the
+	// query and the assertion patterns.
+	Env expr.Env
+	// Query is the transaction's query.
+	Query pattern.Query
+	// Asserts are the tuples added on success, grounded under each
+	// solution's environment.
+	Asserts []pattern.Pattern
+	// Export selects the policy for assertions outside the export set.
+	Export ExportPolicy
+}
+
+// Result reports a transaction's outcome.
+type Result struct {
+	// OK is true when the transaction committed.
+	OK bool
+	// Env is the solution environment of an ∃ transaction (the request Env
+	// extended with the query's bindings); for ∀ it is the request Env.
+	Env expr.Env
+	// Solutions holds every solution environment of a ∀ transaction (one
+	// entry, equal to Env, for ∃).
+	Solutions []expr.Env
+	// Retracted and Asserted list the tuple instances removed/added.
+	Retracted []dataspace.Instance
+	Asserted  []dataspace.Instance
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Attempts  uint64 // evaluation attempts (incl. retries and re-checks)
+	Commits   uint64 // successful transactions
+	Failures  uint64 // failed immediate evaluations
+	Conflicts uint64 // optimistic validations that found a newer version
+	Wakeups   uint64 // delayed-transaction wakeups
+}
+
+// Engine executes transactions against a store.
+type Engine struct {
+	store *dataspace.Store
+	mode  Mode
+
+	attempts  atomic.Uint64
+	commits   atomic.Uint64
+	failures  atomic.Uint64
+	conflicts atomic.Uint64
+	wakeups   atomic.Uint64
+}
+
+// New returns an engine over the store using the given mode.
+func New(store *dataspace.Store, mode Mode) *Engine {
+	if mode != Coarse && mode != Optimistic {
+		mode = Coarse
+	}
+	return &Engine{store: store, mode: mode}
+}
+
+// Store returns the engine's dataspace.
+func (e *Engine) Store() *dataspace.Store { return e.store }
+
+// Mode returns the engine's concurrency-control mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Attempts:  e.attempts.Load(),
+		Commits:   e.commits.Load(),
+		Failures:  e.failures.Load(),
+		Conflicts: e.conflicts.Load(),
+		Wakeups:   e.wakeups.Load(),
+	}
+}
+
+// Immediate executes req as an immediate ('→') transaction: one atomic
+// evaluation that either commits or has no effect. res.OK reports whether
+// the query succeeded; err reports evaluation errors (malformed queries,
+// export violations under ExportError).
+func (e *Engine) Immediate(req Request) (Result, error) {
+	switch e.mode {
+	case Optimistic:
+		return e.immediateOptimistic(req)
+	default:
+		return e.immediateCoarse(req)
+	}
+}
+
+func (e *Engine) immediateCoarse(req Request) (Result, error) {
+	var res Result
+	e.attempts.Add(1)
+	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+		r, err := e.evalAndApply(w, req)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	switch {
+	case errors.Is(err, errFailed):
+		e.failures.Add(1)
+		return Result{Env: req.Env}, nil
+	case err != nil:
+		return Result{}, err
+	default:
+		e.commits.Add(1)
+		return res, nil
+	}
+}
+
+// immediateOptimistic evaluates the query against a read snapshot. Three
+// outcomes:
+//
+//   - The transaction is read-only (no retract tags matched, nothing to
+//     assert): the snapshot answer is final — a read-only transaction
+//     serializes at its snapshot point — and no write lock is taken at
+//     all. This is the mode's payoff on read-mostly workloads.
+//   - The transaction mutates and the version is unchanged under the
+//     write lock: the snapshot's solutions are applied directly, without
+//     re-evaluating the query.
+//   - A concurrent commit intervened: re-evaluate under the lock
+//     (degenerating to coarse for this attempt) and count a conflict.
+func (e *Engine) immediateOptimistic(req Request) (Result, error) {
+	var (
+		snapVersion uint64
+		sols        []pattern.Binding
+		evalErr     error
+	)
+	e.attempts.Add(1)
+	e.store.Snapshot(func(r dataspace.Reader) {
+		snapVersion = r.Version()
+		win := req.View.Window(r, req.Env)
+		switch req.Query.Quant {
+		case pattern.ForAll:
+			sols, evalErr = pattern.SolveAll(req.Query, win, req.Env)
+		default:
+			b, found, err := pattern.Solve(req.Query, win, req.Env)
+			if err != nil {
+				evalErr = err
+			} else if found {
+				sols = []pattern.Binding{b}
+			}
+		}
+	})
+	if evalErr != nil {
+		return Result{}, evalErr
+	}
+
+	if len(sols) == 0 {
+		// A definitive failure only if nothing changed since the snapshot;
+		// otherwise re-check under the lock.
+		if e.store.Version() == snapVersion {
+			e.failures.Add(1)
+			return Result{Env: req.Env}, nil
+		}
+		e.conflicts.Add(1)
+		return e.lockedRetry(req)
+	}
+
+	if len(req.Asserts) == 0 && !anyRetracts(sols) {
+		// Read-only fast path: commit-free.
+		e.commits.Add(1)
+		res := Result{OK: true, Env: req.Env}
+		for _, sol := range sols {
+			res.Solutions = append(res.Solutions, sol.Env)
+		}
+		if req.Query.Quant == pattern.Exists {
+			res.Env = sols[0].Env
+		}
+		return res, nil
+	}
+
+	var res Result
+	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+		if w.Version() != snapVersion {
+			// Conflict: the snapshot's solutions may be stale; re-evaluate
+			// in place.
+			e.conflicts.Add(1)
+			e.attempts.Add(1)
+			r, err := e.evalAndApply(w, req)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		}
+		// Unchanged: the snapshot solutions are still exact.
+		r, err := e.apply(w, req, sols)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	switch {
+	case errors.Is(err, errFailed):
+		e.failures.Add(1)
+		return Result{Env: req.Env}, nil
+	case err != nil:
+		return Result{}, err
+	default:
+		e.commits.Add(1)
+		return res, nil
+	}
+}
+
+// lockedRetry re-evaluates a transaction under the write lock after a
+// snapshot-phase miss raced with a commit.
+func (e *Engine) lockedRetry(req Request) (Result, error) {
+	var res Result
+	e.attempts.Add(1)
+	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+		r, err := e.evalAndApply(w, req)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	switch {
+	case errors.Is(err, errFailed):
+		e.failures.Add(1)
+		return Result{Env: req.Env}, nil
+	case err != nil:
+		return Result{}, err
+	default:
+		e.commits.Add(1)
+		return res, nil
+	}
+}
+
+func anyRetracts(sols []pattern.Binding) bool {
+	for _, sol := range sols {
+		for _, m := range sol.Matched {
+			if m.Retract {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalAndApply evaluates the query against the window over w and applies
+// retractions and assertions. It returns errFailed when the query has no
+// solution.
+func (e *Engine) evalAndApply(w dataspace.Writer, req Request) (Result, error) {
+	win := req.View.Window(w, req.Env)
+	var sols []pattern.Binding
+	switch req.Query.Quant {
+	case pattern.ForAll:
+		all, err := pattern.SolveAll(req.Query, win, req.Env)
+		if err != nil {
+			return Result{}, err
+		}
+		sols = all
+	default:
+		b, found, err := pattern.Solve(req.Query, win, req.Env)
+		if err != nil {
+			return Result{}, err
+		}
+		if found {
+			sols = []pattern.Binding{b}
+		}
+	}
+	if len(sols) == 0 {
+		return Result{}, errFailed
+	}
+	return e.apply(w, req, sols)
+}
+
+// apply performs the composite effect of the solutions: all retractions
+// (deduplicated by instance), then all assertions, as the paper specifies
+// for composite transactions.
+func (e *Engine) apply(w dataspace.Writer, req Request, sols []pattern.Binding) (Result, error) {
+	res := Result{OK: true, Env: req.Env}
+	seen := make(map[tuple.ID]struct{})
+	for _, sol := range sols {
+		res.Solutions = append(res.Solutions, sol.Env)
+		for _, m := range sol.Matched {
+			if !m.Retract {
+				continue
+			}
+			if _, dup := seen[m.ID]; dup {
+				continue
+			}
+			seen[m.ID] = struct{}{}
+			inst, ok := w.Get(m.ID)
+			if !ok {
+				// The instance vanished between evaluation and application;
+				// cannot happen under the write lock.
+				return Result{}, dataspace.ErrNoSuchTuple
+			}
+			if err := w.Delete(m.ID); err != nil {
+				return Result{}, err
+			}
+			res.Retracted = append(res.Retracted, inst)
+		}
+	}
+	for _, sol := range sols {
+		for _, ap := range req.Asserts {
+			t, err := ap.Ground(sol.Env)
+			if err != nil {
+				return Result{}, err
+			}
+			if !req.View.Exports(w, sol.Env, t) {
+				if req.Export == ExportError {
+					return Result{}, ErrExportViolation
+				}
+				continue // Export(p) ∩ W_a: drop silently
+			}
+			id := w.Insert(t, req.Proc)
+			res.Asserted = append(res.Asserted, dataspace.Instance{ID: id, Tuple: t, Owner: req.Proc})
+		}
+	}
+	if req.Query.Quant == pattern.Exists {
+		res.Env = sols[0].Env
+	}
+	return res, nil
+}
+
+// interestKeys derives the wakeup subscription for a blocked request: one
+// key per pattern (positive and negated), with the lead pinned when it is
+// determined by the request environment alone.
+func interestKeys(req Request) []dataspace.InterestKey {
+	keys := make([]dataspace.InterestKey, 0, len(req.Query.Patterns))
+	for _, p := range req.Query.Patterns {
+		lead, known := p.Lead(req.Env)
+		keys = append(keys, dataspace.InterestOf(p.Arity(), lead, known))
+	}
+	return keys
+}
+
+// Delayed executes req as a delayed ('⇒') transaction: it blocks until a
+// successful evaluation is possible or ctx is cancelled. The register-then-
+// evaluate protocol guarantees no lost wakeups.
+func (e *Engine) Delayed(ctx context.Context, req Request) (Result, error) {
+	keys := interestKeys(req)
+	for {
+		ch, cancel := e.store.Wait(keys)
+		res, err := e.Immediate(req)
+		if err != nil {
+			cancel()
+			return Result{}, err
+		}
+		if res.OK {
+			cancel()
+			return res, nil
+		}
+		select {
+		case <-ch:
+			e.wakeups.Add(1)
+			cancel()
+		case <-ctx.Done():
+			cancel()
+			return Result{}, ctx.Err()
+		}
+	}
+}

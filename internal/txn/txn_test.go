@@ -1,0 +1,659 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/view"
+)
+
+func year(n int64) tuple.Tuple { return tuple.New(tuple.Atom("year"), tuple.Int(n)) }
+
+// modes runs a subtest under both concurrency-control modes.
+func modes(t *testing.T, fn func(t *testing.T, mode Mode)) {
+	t.Helper()
+	t.Run("coarse", func(t *testing.T) { fn(t, Coarse) })
+	t.Run("optimistic", func(t *testing.T) { fn(t, Optimistic) })
+}
+
+func TestImmediatePaperExample(t *testing.T) {
+	// ∃α: <year, α>! : α > 87 → (found, α)
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85), year(90))
+		e := New(s, mode)
+		res, err := e.Immediate(Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+				Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87)))),
+			Asserts: []pattern.Pattern{
+				pattern.P(pattern.C(tuple.Atom("found")), pattern.V("a")),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			t.Fatal("transaction failed")
+		}
+		if res.Env["a"] != tuple.Int(90) {
+			t.Errorf("a = %v", res.Env["a"])
+		}
+		if len(res.Retracted) != 1 || !res.Retracted[0].Tuple.Equal(year(90)) {
+			t.Errorf("retracted = %v", res.Retracted)
+		}
+		if len(res.Asserted) != 1 {
+			t.Fatalf("asserted = %v", res.Asserted)
+		}
+		want := tuple.New(tuple.Atom("found"), tuple.Int(90))
+		if !res.Asserted[0].Tuple.Equal(want) {
+			t.Errorf("asserted %v, want %v", res.Asserted[0].Tuple, want)
+		}
+		if s.Len() != 2 { // year(85) + found(90)
+			t.Errorf("store len = %d", s.Len())
+		}
+	})
+}
+
+func TestImmediateFailureHasNoEffect(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85))
+		e := New(s, mode)
+		v0 := s.Version()
+		res, err := e.Immediate(Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+				Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87)))),
+			Asserts: []pattern.Pattern{
+				pattern.P(pattern.C(tuple.Atom("found")), pattern.V("a")),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK {
+			t.Fatal("should have failed")
+		}
+		if s.Version() != v0 || s.Len() != 1 {
+			t.Error("failed transaction changed the dataspace")
+		}
+		st := e.Stats()
+		if st.Failures != 1 || st.Commits != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}
+
+func TestMembershipTestNoEffect(t *testing.T) {
+	// A pure membership test commits without mutating (version unchanged).
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(87))
+		e := New(s, mode)
+		v0 := s.Version()
+		res, err := e.Immediate(Request{
+			Proc:  1,
+			View:  view.Universal(),
+			Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.C(tuple.Int(87)))),
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("res=%+v err=%v", res, err)
+		}
+		if s.Version() != v0 {
+			t.Error("membership test bumped version")
+		}
+	})
+}
+
+func TestForAllCompositeEffect(t *testing.T) {
+	// ∀α: <year, α>! : α > 87 → (old, α): retract all matching, assert one
+	// tuple per solution, atomically.
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85), year(90), year(95))
+		e := New(s, mode)
+		res, err := e.Immediate(Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.QAll(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+				Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87)))),
+			Asserts: []pattern.Pattern{
+				pattern.P(pattern.C(tuple.Atom("old")), pattern.V("a")),
+			},
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("res=%+v err=%v", res, err)
+		}
+		if len(res.Solutions) != 2 || len(res.Retracted) != 2 || len(res.Asserted) != 2 {
+			t.Errorf("sols=%d retracted=%d asserted=%d",
+				len(res.Solutions), len(res.Retracted), len(res.Asserted))
+		}
+		if s.Len() != 3 { // year(85), old(90), old(95)
+			t.Errorf("store len = %d", s.Len())
+		}
+	})
+}
+
+func TestForAllZeroSolutionsFails(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		e := New(s, mode)
+		res, err := e.Immediate(Request{
+			Proc:  1,
+			View:  view.Universal(),
+			Query: pattern.QAll(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK {
+			t.Error("∀ with no matches should fail as a guard")
+		}
+	})
+}
+
+func TestViewRestrictsTransaction(t *testing.T) {
+	// With the paper's `α ≤ 87` import view, the transaction cannot see
+	// year(90).
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85), year(90))
+		v := view.New(
+			view.Union(view.PatWhere(
+				pattern.P(pattern.C(tuple.Atom("year")), pattern.V("x")),
+				expr.Le(expr.V("x"), expr.Const(tuple.Int(87))),
+			)),
+			view.Everything(),
+		)
+		e := New(s, mode)
+		res, err := e.Immediate(Request{
+			Proc: 1,
+			View: v,
+			Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+				Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87)))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OK {
+			t.Error("view should hide year(90)")
+		}
+	})
+}
+
+func TestExportDropAndError(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85))
+		v := view.New(
+			view.Everything(),
+			view.Union(view.Pat(pattern.P(pattern.C(tuple.Atom("year")), pattern.W()))),
+		)
+		e := New(s, mode)
+		req := Request{
+			Proc:  1,
+			View:  v,
+			Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+			Asserts: []pattern.Pattern{
+				pattern.P(pattern.C(tuple.Atom("noexport")), pattern.V("a")),
+				pattern.P(pattern.C(tuple.Atom("year")), pattern.E(expr.Add(expr.V("a"), expr.Const(tuple.Int(1))))),
+			},
+		}
+		res, err := e.Immediate(req)
+		if err != nil || !res.OK {
+			t.Fatalf("res=%+v err=%v", res, err)
+		}
+		// Only the exportable tuple landed.
+		if len(res.Asserted) != 1 || !res.Asserted[0].Tuple.Equal(year(86)) {
+			t.Errorf("asserted = %v", res.Asserted)
+		}
+
+		req.Export = ExportError
+		_, err = e.Immediate(req)
+		if !errors.Is(err, ErrExportViolation) {
+			t.Errorf("strict export err = %v", err)
+		}
+	})
+}
+
+func TestExportErrorRollsBack(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(85))
+		v := view.New(view.Everything(), view.Union()) // exports nothing
+		e := New(s, mode)
+		_, err := e.Immediate(Request{
+			Proc:    1,
+			View:    v,
+			Query:   pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+			Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("x")), pattern.V("a"))},
+			Export:  ExportError,
+		})
+		if !errors.Is(err, ErrExportViolation) {
+			t.Fatalf("err = %v", err)
+		}
+		if s.Len() != 1 {
+			t.Error("rollback failed: retraction persisted")
+		}
+	})
+}
+
+func TestRetractOneInstanceLeavesOthers(t *testing.T) {
+	// "retracting one instance of a tuple may leave other instances of it
+	// in the dataspace."
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(87), year(87))
+		e := New(s, mode)
+		res, err := e.Immediate(Request{
+			Proc:  1,
+			View:  view.Universal(),
+			Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.C(tuple.Int(87)))),
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("res=%+v err=%v", res, err)
+		}
+		if s.Len() != 1 {
+			t.Errorf("store len = %d, want 1", s.Len())
+		}
+	})
+}
+
+func TestDelayedBlocksUntilEnabled(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		e := New(s, mode)
+		done := make(chan Result, 1)
+		go func() {
+			res, err := e.Delayed(context.Background(), Request{
+				Proc: 1,
+				View: view.Universal(),
+				Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+					Where(expr.Gt(expr.V("a"), expr.Const(tuple.Int(87)))),
+				Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("new_year")))},
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			done <- res
+		}()
+		// Not enabled by an unrelated tuple or a too-small year.
+		s.Assert(tuple.Environment, tuple.New(tuple.Atom("noise"), tuple.Int(1)))
+		s.Assert(tuple.Environment, year(80))
+		select {
+		case <-done:
+			t.Fatal("delayed transaction fired prematurely")
+		case <-time.After(30 * time.Millisecond):
+		}
+		s.Assert(tuple.Environment, year(90))
+		select {
+		case res := <-done:
+			if !res.OK || res.Env["a"] != tuple.Int(90) {
+				t.Errorf("res = %+v", res)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("delayed transaction never fired")
+		}
+	})
+}
+
+func TestDelayedContextCancel(t *testing.T) {
+	s := dataspace.New()
+	e := New(s, Coarse)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Delayed(ctx, Request{
+			Proc:  1,
+			View:  view.Universal(),
+			Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("never")))),
+		})
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Delayed did not observe cancellation")
+	}
+}
+
+func TestDelayedImmediatelyEnabled(t *testing.T) {
+	s := dataspace.New()
+	s.Assert(tuple.Environment, year(90))
+	e := New(s, Optimistic)
+	res, err := e.Delayed(context.Background(), Request{
+		Proc:  1,
+		View:  view.Universal(),
+		Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a")))},
+	)
+	if err != nil || !res.OK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}
+
+// Serializability: concurrent read-modify-write increments of a counter
+// tuple must not lose updates, under both modes.
+func TestConcurrentIncrementsSerializable(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, tuple.New(tuple.Atom("counter"), tuple.Int(0)))
+		e := New(s, mode)
+		const workers = 8
+		const perWorker = 50
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					res, err := e.Delayed(context.Background(), Request{
+						Proc:  tuple.ProcessID(w + 1),
+						View:  view.Universal(),
+						Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("counter")), pattern.V("n"))),
+						Asserts: []pattern.Pattern{pattern.P(
+							pattern.C(tuple.Atom("counter")),
+							pattern.E(expr.Add(expr.V("n"), expr.Const(tuple.Int(1)))),
+						)},
+					})
+					if err != nil || !res.OK {
+						t.Errorf("increment failed: %+v %v", res, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var got int64
+		s.Snapshot(func(r dataspace.Reader) {
+			r.Scan(2, tuple.Atom("counter"), true, func(_ tuple.ID, tp tuple.Tuple) bool {
+				got, _ = tp.Field(1).AsInt()
+				return false
+			})
+		})
+		if got != workers*perWorker {
+			t.Errorf("counter = %d, want %d", got, workers*perWorker)
+		}
+		if s.Len() != 1 {
+			t.Errorf("store len = %d", s.Len())
+		}
+	})
+}
+
+// Two concurrent retractors of a single instance: exactly one must win.
+func TestConcurrentRetractionExactlyOnce(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		for trial := 0; trial < 20; trial++ {
+			s := dataspace.New()
+			s.Assert(tuple.Environment, year(90))
+			e := New(s, mode)
+			results := make(chan bool, 2)
+			for w := 0; w < 2; w++ {
+				go func(w int) {
+					res, err := e.Immediate(Request{
+						Proc:  tuple.ProcessID(w + 1),
+						View:  view.Universal(),
+						Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+					})
+					if err != nil {
+						t.Error(err)
+					}
+					results <- res.OK
+				}(w)
+			}
+			wins := 0
+			for i := 0; i < 2; i++ {
+				if <-results {
+					wins++
+				}
+			}
+			if wins != 1 {
+				t.Fatalf("trial %d: wins = %d, want exactly 1", trial, wins)
+			}
+			if s.Len() != 0 {
+				t.Fatalf("trial %d: store len = %d", trial, s.Len())
+			}
+		}
+	})
+}
+
+func TestOptimisticConflictCounted(t *testing.T) {
+	// Force a conflict: evaluate under snapshot, mutate between phases.
+	// We can't hook between phases directly, so run contended increments
+	// and just require the engine to have recorded activity consistently.
+	s := dataspace.New()
+	s.Assert(tuple.Environment, tuple.New(tuple.Atom("counter"), tuple.Int(0)))
+	e := New(s, Optimistic)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = e.Immediate(Request{
+					Proc:  tuple.ProcessID(w + 1),
+					View:  view.Universal(),
+					Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("counter")), pattern.V("n"))),
+					Asserts: []pattern.Pattern{pattern.P(
+						pattern.C(tuple.Atom("counter")),
+						pattern.E(expr.Add(expr.V("n"), expr.Const(tuple.Int(1)))),
+					)},
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Commits != 400 {
+		t.Errorf("commits = %d", st.Commits)
+	}
+	if st.Attempts < st.Commits {
+		t.Errorf("attempts %d < commits %d", st.Attempts, st.Commits)
+	}
+}
+
+func TestInvalidModeDefaultsToCoarse(t *testing.T) {
+	e := New(dataspace.New(), Mode(99))
+	if e.Mode() != Coarse {
+		t.Errorf("mode = %v", e.Mode())
+	}
+	if e.Store() == nil {
+		t.Error("Store() nil")
+	}
+}
+
+func TestQueryErrorPropagates(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(90))
+		e := New(s, mode)
+		_, err := e.Immediate(Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))).
+				Where(expr.Add(expr.V("a"), expr.Const(tuple.Int(1)))), // non-bool test
+		})
+		if err == nil {
+			t.Error("expected evaluation error")
+		}
+	})
+}
+
+func TestAssertGroundErrorFailsTransaction(t *testing.T) {
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		s.Assert(tuple.Environment, year(90))
+		e := New(s, mode)
+		_, err := e.Immediate(Request{
+			Proc:    1,
+			View:    view.Universal(),
+			Query:   pattern.Q(pattern.R(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+			Asserts: []pattern.Pattern{pattern.P(pattern.V("unbound_var"))},
+		})
+		if err == nil {
+			t.Fatal("expected ground error")
+		}
+		if s.Len() != 1 {
+			t.Error("failed assertion did not roll back retraction")
+		}
+	})
+}
+
+func TestOptimisticConflictPathsExercised(t *testing.T) {
+	// Force the snapshot-miss-then-version-moved path: a flipper toggles
+	// the presence of <x> while a prober runs immediate queries for it.
+	s := dataspace.New()
+	e := New(s, Optimistic)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ids := s.Assert(tuple.Environment, tuple.New(tuple.Atom("x")))
+			_ = s.Update(tuple.Environment, func(w dataspace.Writer) error {
+				return w.Delete(ids[0])
+			})
+		}
+	}()
+	req := Request{
+		Proc:    1,
+		View:    view.Universal(),
+		Query:   pattern.Q(pattern.R(pattern.C(tuple.Atom("x")))),
+		Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("seen")))},
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Stats().Conflicts == 0 && time.Now().Before(deadline) {
+		if _, err := e.Immediate(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if e.Stats().Conflicts == 0 {
+		t.Skip("no conflict provoked on this host (single-threaded scheduling)")
+	}
+	// Consistency: every committed probe left exactly one seen tuple and
+	// removed one x.
+	st := e.Stats()
+	var seen int
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Scan(1, tuple.Atom("seen"), true, func(tuple.ID, tuple.Tuple) bool {
+			seen++
+			return true
+		})
+	})
+	if uint64(seen) != st.Commits {
+		t.Errorf("seen=%d commits=%d", seen, st.Commits)
+	}
+}
+
+func TestDelayedNegationOnlyQuery(t *testing.T) {
+	// A delayed transaction whose query is a lone negation fires when the
+	// blocking tuple is retracted.
+	modes(t, func(t *testing.T, mode Mode) {
+		s := dataspace.New()
+		ids := s.Assert(tuple.Environment, tuple.New(tuple.Atom("busy")))
+		e := New(s, mode)
+		done := make(chan Result, 1)
+		go func() {
+			res, err := e.Delayed(context.Background(), Request{
+				Proc:    1,
+				View:    view.Universal(),
+				Query:   pattern.Q(pattern.N(pattern.C(tuple.Atom("busy")))),
+				Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("idle")))},
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			done <- res
+		}()
+		select {
+		case <-done:
+			t.Fatal("negation fired while busy tuple present")
+		case <-time.After(30 * time.Millisecond):
+		}
+		_ = s.Update(tuple.Environment, func(w dataspace.Writer) error {
+			return w.Delete(ids[0])
+		})
+		select {
+		case res := <-done:
+			if !res.OK {
+				t.Error("not OK")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("negation-only delayed txn never fired after retract")
+		}
+	})
+}
+
+func TestModeAndKindStrings(t *testing.T) {
+	if Coarse.String() != "coarse" || Optimistic.String() != "optimistic" || Mode(0).String() != "invalid" {
+		t.Error("Mode.String misnames")
+	}
+}
+
+func BenchmarkImmediateReadOnly(b *testing.B) {
+	for _, mode := range []Mode{Coarse, Optimistic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := dataspace.New()
+			s.Assert(tuple.Environment, year(90))
+			e := New(s, mode)
+			req := Request{
+				Proc:  1,
+				View:  view.Universal(),
+				Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("year")), pattern.V("a"))),
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Immediate(req)
+				if err != nil || !res.OK {
+					b.Fatal(res.OK, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkImmediateRMW(b *testing.B) {
+	for _, mode := range []Mode{Coarse, Optimistic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := dataspace.New()
+			s.Assert(tuple.Environment, tuple.New(tuple.Atom("counter"), tuple.Int(0)))
+			e := New(s, mode)
+			req := Request{
+				Proc:  1,
+				View:  view.Universal(),
+				Query: pattern.Q(pattern.R(pattern.C(tuple.Atom("counter")), pattern.V("n"))),
+				Asserts: []pattern.Pattern{pattern.P(pattern.C(tuple.Atom("counter")),
+					pattern.E(expr.Add(expr.V("n"), expr.Const(tuple.Int(1)))))},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Immediate(req)
+				if err != nil || !res.OK {
+					b.Fatal(res.OK, err)
+				}
+			}
+		})
+	}
+}

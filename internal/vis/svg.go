@@ -1,0 +1,119 @@
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// RenderSVGTimeline renders a trace log as a tuple-lifetime timeline: one
+// horizontal lane per tuple instance, a bar from its assertion version to
+// its retraction version (or the end of the trace if it survives), colored
+// by the asserting process. The output is a self-contained SVG document —
+// the paper's program-visualization ambition in its simplest durable form.
+//
+// maxLanes bounds the number of instance lanes rendered (0 = all); when
+// truncated, a caption says how many instances were omitted.
+func RenderSVGTimeline(events []trace.Event, maxLanes int) string {
+	type life struct {
+		id         tuple.ID
+		label      string
+		owner      tuple.ProcessID
+		birth      uint64
+		death      uint64
+		alive      bool
+		birthIndex int
+	}
+	lives := make(map[tuple.ID]*life)
+	var order []*life
+	maxVersion := uint64(1)
+	for i, e := range events {
+		if e.Version > maxVersion {
+			maxVersion = e.Version
+		}
+		switch e.Kind {
+		case trace.Assert:
+			l := &life{
+				id: e.ID, label: e.Tuple, owner: e.Owner,
+				birth: e.Version, alive: true, birthIndex: i,
+			}
+			lives[e.ID] = l
+			order = append(order, l)
+		case trace.Retract:
+			if l, ok := lives[e.ID]; ok {
+				l.death = e.Version
+				l.alive = false
+			}
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].birthIndex < order[j].birthIndex })
+
+	omitted := 0
+	if maxLanes > 0 && len(order) > maxLanes {
+		omitted = len(order) - maxLanes
+		order = order[:maxLanes]
+	}
+
+	const (
+		laneH    = 14
+		topPad   = 28
+		leftPad  = 220
+		chartW   = 640
+		rightPad = 16
+	)
+	height := topPad + laneH*len(order) + 24
+	width := leftPad + chartW + rightPad
+	x := func(v uint64) float64 {
+		return leftPad + float64(v)*float64(chartW)/float64(maxVersion)
+	}
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+		"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="12">dataspace timeline — %d events, versions 1..%d</text>`+"\n",
+		leftPad, len(events), maxVersion)
+	for i, l := range order {
+		y := topPad + i*laneH
+		end := maxVersion
+		if !l.alive {
+			end = l.death
+		}
+		color := palette[int(l.owner)%len(palette)]
+		label := l.label
+		if len(label) > 30 {
+			label = label[:27] + "..."
+		}
+		fmt.Fprintf(&b, `<text x="4" y="%d">#%d %s</text>`+"\n", y+laneH-4, l.id, escapeXML(label))
+		w := x(end) - x(l.birth)
+		if w < 2 {
+			w = 2
+		}
+		opacity := "1.0"
+		if l.alive {
+			opacity = "0.55" // still alive at the end of the trace
+		}
+		fmt.Fprintf(&b,
+			`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="%s"><title>%s: v%d..v%d (P%d)</title></rect>`+"\n",
+			x(l.birth), y+2, w, laneH-4, color, opacity, escapeXML(l.label), l.birth, end, l.owner)
+	}
+	if omitted > 0 {
+		fmt.Fprintf(&b, `<text x="4" y="%d" fill="#888">(%d more instances omitted)</text>`+"\n",
+			topPad+len(order)*laneH+14, omitted)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer(
+		"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

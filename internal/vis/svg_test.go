@@ -1,0 +1,69 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func traceEvents(t *testing.T) []trace.Event {
+	t.Helper()
+	s := dataspace.New()
+	r := trace.NewRecorder(0)
+	r.Attach(s)
+	ids := s.Assert(1, tuple.New(tuple.Atom("year"), tuple.Int(87)))
+	s.Assert(2, tuple.New(tuple.Atom("month"), tuple.Int(3)))
+	_ = s.Update(3, func(w dataspace.Writer) error { return w.Delete(ids[0]) })
+	return r.Events()
+}
+
+func TestRenderSVGTimelineBasics(t *testing.T) {
+	out := RenderSVGTimeline(traceEvents(t), 0)
+	for _, want := range []string{
+		"<svg", "</svg>",
+		"&lt;year, 87&gt;", // escaped tuple label
+		"&lt;month, 3&gt;",
+		"3 events, versions 1..3",
+		"v1..v3", // the retracted tuple's lifetime
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q:\n%s", want, out)
+		}
+	}
+	// Two rects (one per instance).
+	if got := strings.Count(out, "<rect"); got != 2 {
+		t.Errorf("rects = %d, want 2", got)
+	}
+}
+
+func TestRenderSVGTimelineTruncation(t *testing.T) {
+	s := dataspace.New()
+	r := trace.NewRecorder(0)
+	r.Attach(s)
+	for i := 0; i < 20; i++ {
+		s.Assert(1, tuple.New(tuple.Int(int64(i))))
+	}
+	out := RenderSVGTimeline(r.Events(), 5)
+	if strings.Count(out, "<rect") != 5 {
+		t.Errorf("rects = %d, want 5", strings.Count(out, "<rect"))
+	}
+	if !strings.Contains(out, "15 more instances omitted") {
+		t.Errorf("truncation caption missing:\n%s", out)
+	}
+}
+
+func TestRenderSVGTimelineEmpty(t *testing.T) {
+	out := RenderSVGTimeline(nil, 0)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("empty trace should still render a document")
+	}
+}
+
+func TestEscapeXML(t *testing.T) {
+	if got := escapeXML(`<a & "b">`); got != "&lt;a &amp; &quot;b&quot;&gt;" {
+		t.Errorf("escape = %q", got)
+	}
+}

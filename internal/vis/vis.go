@@ -1,0 +1,157 @@
+// Package vis renders dataspace-derived structures as text: image grids,
+// region labelings, and trace activity summaries. It is the minimal
+// realization of the paper's vision of "visualization processes completely
+// decoupled from the rest of the process society, yet having complete
+// access to the data state of the computation": renderers consume
+// dataspace snapshots and trace logs, never process state.
+package vis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/workload"
+)
+
+// RenderImage renders an image as characters by intensity band
+// (' ', '.', ':', '*', '#' from dark to bright).
+func RenderImage(im *workload.Image) string {
+	ramp := []byte(" .:*#")
+	var b strings.Builder
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			idx := int(v * int64(len(ramp)) / 256)
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderLabels renders a region labeling, assigning each distinct label a
+// letter (a..z, A..Z, then '?') in order of first appearance.
+func RenderLabels(w, h int, labels []int64) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	assigned := make(map[int64]byte)
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			l := labels[y*w+x]
+			ch, ok := assigned[l]
+			if !ok {
+				if len(assigned) < len(alphabet) {
+					ch = alphabet[len(assigned)]
+				} else {
+					ch = '?'
+				}
+				assigned[l] = ch
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderActivity renders per-process assert/retract counts as aligned
+// rows with proportional bars.
+func RenderActivity(acts []trace.OwnerActivity) string {
+	if len(acts) == 0 {
+		return "(no activity)\n"
+	}
+	maxTotal := 0
+	for _, a := range acts {
+		if t := a.Asserts + a.Retracts; t > maxTotal {
+			maxTotal = t
+		}
+	}
+	var b strings.Builder
+	for _, a := range acts {
+		total := a.Asserts + a.Retracts
+		barLen := 0
+		if maxTotal > 0 {
+			barLen = total * 40 / maxTotal
+		}
+		fmt.Fprintf(&b, "P%-5d %6d asserts %6d retracts %s\n",
+			a.Process, a.Asserts, a.Retracts, strings.Repeat("█", barLen))
+	}
+	return b.String()
+}
+
+// RenderVersionHistogram buckets events by commit version into `buckets`
+// columns and renders commit activity over (logical) time.
+func RenderVersionHistogram(events []trace.Event, buckets int) string {
+	if len(events) == 0 || buckets <= 0 {
+		return "(no events)\n"
+	}
+	maxV := uint64(1)
+	for _, e := range events {
+		if e.Version > maxV {
+			maxV = e.Version
+		}
+	}
+	counts := make([]int, buckets)
+	for _, e := range events {
+		idx := int((e.Version - 1) * uint64(buckets) / maxV)
+		if idx >= buckets {
+			idx = buckets - 1
+		}
+		counts[idx]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	const height = 8
+	var b strings.Builder
+	for row := height; row >= 1; row-- {
+		for _, c := range counts {
+			if peak > 0 && c*height >= row*peak {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s\nversions 1..%d, %d events, peak %d/bucket\n",
+		strings.Repeat("-", buckets), maxV, len(events), peak)
+	return b.String()
+}
+
+// RegionSummary lists the distinct labels of a labeling with their sizes,
+// largest first.
+func RegionSummary(labels []int64) string {
+	sizes := make(map[int64]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	type row struct {
+		label int64
+		size  int
+	}
+	rows := make([]row, 0, len(sizes))
+	for l, n := range sizes {
+		rows = append(rows, row{l, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].size != rows[j].size {
+			return rows[i].size > rows[j].size
+		}
+		return rows[i].label < rows[j].label
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d regions\n", len(rows))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  label %-6d %6d px\n", r.label, r.size)
+	}
+	return b.String()
+}

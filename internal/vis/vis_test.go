@@ -1,0 +1,95 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/workload"
+)
+
+func TestRenderImageShape(t *testing.T) {
+	im := workload.GenImage(8, 4, 2, 1)
+	out := RenderImage(im)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 8 {
+			t.Errorf("line %q has width %d", l, len(l))
+		}
+	}
+}
+
+func TestRenderImageBands(t *testing.T) {
+	im := &workload.Image{W: 5, H: 1, Pix: []int64{0, 60, 120, 180, 255}}
+	out := strings.TrimRight(RenderImage(im), "\n")
+	if out != " .:*#" {
+		t.Errorf("bands = %q", out)
+	}
+}
+
+func TestRenderLabels(t *testing.T) {
+	labels := []int64{7, 7, 9, 9}
+	out := RenderLabels(2, 2, labels)
+	if out != "aa\nbb\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRenderLabelsManyRegions(t *testing.T) {
+	labels := make([]int64, 60)
+	for i := range labels {
+		labels[i] = int64(i) // 60 distinct regions > 52 letters
+	}
+	out := RenderLabels(60, 1, labels)
+	if !strings.Contains(out, "?") {
+		t.Error("overflow regions should render as ?")
+	}
+}
+
+func TestRenderActivity(t *testing.T) {
+	out := RenderActivity([]trace.OwnerActivity{
+		{Process: 1, Asserts: 10, Retracts: 2},
+		{Process: 2, Asserts: 5, Retracts: 5},
+	})
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "10 asserts") {
+		t.Errorf("out = %q", out)
+	}
+	if RenderActivity(nil) != "(no activity)\n" {
+		t.Error("empty activity rendering")
+	}
+}
+
+func TestRenderVersionHistogram(t *testing.T) {
+	s := dataspace.New()
+	r := trace.NewRecorder(0)
+	r.Attach(s)
+	for i := 0; i < 50; i++ {
+		s.Assert(1, tuple.New(tuple.Int(int64(i))))
+	}
+	out := RenderVersionHistogram(r.Events(), 10)
+	if !strings.Contains(out, "50 events") {
+		t.Errorf("out = %q", out)
+	}
+	if RenderVersionHistogram(nil, 10) != "(no events)\n" {
+		t.Error("empty histogram rendering")
+	}
+}
+
+func TestRegionSummary(t *testing.T) {
+	labels := []int64{3, 3, 3, 8}
+	out := RegionSummary(labels)
+	if !strings.Contains(out, "2 regions") {
+		t.Errorf("out = %q", out)
+	}
+	// Largest region first.
+	i3 := strings.Index(out, "label 3")
+	i8 := strings.Index(out, "label 8")
+	if i3 < 0 || i8 < 0 || i3 > i8 {
+		t.Errorf("ordering wrong: %q", out)
+	}
+}

@@ -1,0 +1,88 @@
+package vis
+
+import (
+	"sync"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+)
+
+// Watcher realizes the paper's decoupled visualization process: an
+// observer "completely decoupled from the rest of the process society, yet
+// having complete access to the data state of the computation". It samples
+// consistent dataspace snapshots on a fixed cadence (plus one final sample
+// at Stop) and hands them to a render callback. Because sampling uses the
+// store's reader lock, the observed configurations are exactly the
+// committed ones — an observer can never see a half-applied transaction.
+type Watcher struct {
+	store    *dataspace.Store
+	interval time.Duration
+	render   func(r dataspace.Reader)
+
+	stop    chan struct{}
+	done    chan struct{}
+	mu      sync.Mutex
+	samples int
+	stopped bool
+}
+
+// NewWatcher starts a watcher rendering every interval. Call Stop to
+// terminate it; Stop renders one final sample so the terminal state is
+// always observed.
+func NewWatcher(store *dataspace.Store, interval time.Duration, render func(r dataspace.Reader)) *Watcher {
+	w := &Watcher{
+		store:    store,
+		interval: interval,
+		render:   render,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			w.sample()
+		case <-w.stop:
+			w.sample() // final state
+			return
+		}
+	}
+}
+
+func (w *Watcher) sample() {
+	w.store.Snapshot(func(r dataspace.Reader) {
+		w.render(r)
+	})
+	w.mu.Lock()
+	w.samples++
+	w.mu.Unlock()
+}
+
+// Samples reports how many snapshots have been rendered.
+func (w *Watcher) Samples() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.samples
+}
+
+// Stop terminates the watcher after a final sample and waits for the
+// observer goroutine to exit. Stop is idempotent.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		<-w.done
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.stop)
+	<-w.done
+}

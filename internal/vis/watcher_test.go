@@ -1,0 +1,103 @@
+package vis
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func TestWatcherObservesEvolution(t *testing.T) {
+	s := dataspace.New()
+	var mu sync.Mutex
+	var sizes []int
+	w := NewWatcher(s, 5*time.Millisecond, func(r dataspace.Reader) {
+		mu.Lock()
+		sizes = append(sizes, r.Len())
+		mu.Unlock()
+	})
+	for i := 0; i < 10; i++ {
+		s.Assert(tuple.Environment, tuple.New(tuple.Int(int64(i))))
+		time.Sleep(3 * time.Millisecond)
+	}
+	w.Stop()
+	if w.Samples() == 0 {
+		t.Fatal("no samples taken")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) == 0 {
+		t.Fatal("render never called")
+	}
+	// The final sample (taken at Stop) must see the terminal state.
+	if sizes[len(sizes)-1] != 10 {
+		t.Errorf("final sample saw %d tuples, want 10", sizes[len(sizes)-1])
+	}
+	// Sizes are monotonically non-decreasing (snapshots are consistent).
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Errorf("sizes went backwards: %v", sizes)
+		}
+	}
+}
+
+func TestWatcherStopIdempotent(t *testing.T) {
+	s := dataspace.New()
+	var n atomic.Int32
+	w := NewWatcher(s, time.Millisecond, func(dataspace.Reader) { n.Add(1) })
+	w.Stop()
+	w.Stop()
+	after := n.Load()
+	time.Sleep(10 * time.Millisecond)
+	if n.Load() != after {
+		t.Error("watcher rendered after Stop")
+	}
+}
+
+func TestWatcherNeverSeesPartialCommit(t *testing.T) {
+	// A transaction-sized batch (delete one, insert one) must never be
+	// observed half-applied: the count is always exactly 100.
+	s := dataspace.New()
+	ids := s.Assert(tuple.Environment, make100()...)
+	_ = ids
+	var bad atomic.Int32
+	w := NewWatcher(s, 100*time.Microsecond, func(r dataspace.Reader) {
+		if r.Len() != 100 {
+			bad.Add(1)
+		}
+	})
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for i := 0; i < 500; i++ {
+			_ = s.Update(tuple.Environment, func(wr dataspace.Writer) error {
+				var victim tuple.ID
+				wr.Scan(1, tuple.Value{}, false, func(id tuple.ID, _ tuple.Tuple) bool {
+					victim = id
+					return false
+				})
+				if err := wr.Delete(victim); err != nil {
+					return err
+				}
+				wr.Insert(tuple.New(tuple.Int(int64(1000+i))), tuple.Environment)
+				return nil
+			})
+		}
+	}()
+	<-stop
+	w.Stop()
+	if bad.Load() != 0 {
+		t.Errorf("watcher saw %d inconsistent snapshots", bad.Load())
+	}
+}
+
+func make100() []tuple.Tuple {
+	out := make([]tuple.Tuple, 100)
+	for i := range out {
+		out[i] = tuple.New(tuple.Int(int64(i)))
+	}
+	return out
+}

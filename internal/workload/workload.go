@@ -1,0 +1,249 @@
+// Package workload generates the deterministic, seeded inputs for the
+// paper's example programs and the benchmark harness: integer arrays
+// (§3.1), property lists (§3.2), synthetic digitized images (§3.3 — the
+// substitution for the paper's "continuous terrain scanning" imagery), and
+// producer/consumer streams (E7/E8).
+//
+// Every generator is a pure function of its parameters and seed, so
+// experiments are reproducible run to run.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Array returns n pseudo-random values in [1, 100] and their sum.
+func Array(n int, seed int64) (values []int64, sum int64) {
+	rng := rand.New(rand.NewSource(seed))
+	values = make([]int64, n)
+	for i := range values {
+		values[i] = 1 + rng.Int63n(100)
+		sum += values[i]
+	}
+	return values, sum
+}
+
+// LoadArray asserts <k, A(k)> tuples (1-based k) into the store and
+// returns the expected sum.
+func LoadArray(s *dataspace.Store, n int, seed int64) int64 {
+	values, sum := Array(n, seed)
+	ts := make([]tuple.Tuple, n)
+	for i, v := range values {
+		ts[i] = tuple.New(tuple.Int(int64(i+1)), tuple.Int(v))
+	}
+	s.Assert(tuple.Environment, ts...)
+	return sum
+}
+
+// LoadArrayPhased asserts <k, A(k), 1> tuples (phase-tagged, for Sum2).
+func LoadArrayPhased(s *dataspace.Store, n int, seed int64) int64 {
+	values, sum := Array(n, seed)
+	ts := make([]tuple.Tuple, n)
+	for i, v := range values {
+		ts[i] = tuple.New(tuple.Int(int64(i+1)), tuple.Int(v), tuple.Int(1))
+	}
+	s.Assert(tuple.Environment, ts...)
+	return sum
+}
+
+// PropertyNode is one node of a §3.2 property list.
+type PropertyNode struct {
+	ID    int64
+	Name  string
+	Value int64
+	Next  int64 // 0 means nil
+}
+
+// PropertyList generates a linked property list of n nodes with distinct
+// property names prop0..prop(n-1) in shuffled order. Node IDs are 1..n in
+// list order (node 1 is the head).
+func PropertyList(n int, seed int64) []PropertyNode {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	nodes := make([]PropertyNode, n)
+	for i := 0; i < n; i++ {
+		next := int64(i + 2)
+		if i == n-1 {
+			next = 0
+		}
+		nodes[i] = PropertyNode{
+			ID:    int64(i + 1),
+			Name:  fmt.Sprintf("prop%d", perm[i]),
+			Value: rng.Int63n(1000),
+			Next:  next,
+		}
+	}
+	return nodes
+}
+
+// NextValue encodes a Next link as a tuple value (atom nil for 0).
+func NextValue(next int64) tuple.Value {
+	if next == 0 {
+		return tuple.Atom("nil")
+	}
+	return tuple.Int(next)
+}
+
+// LoadPropertyList asserts the <node_id, name, value, next> tuples.
+func LoadPropertyList(s *dataspace.Store, nodes []PropertyNode) {
+	ts := make([]tuple.Tuple, len(nodes))
+	for i, nd := range nodes {
+		ts[i] = tuple.New(
+			tuple.Int(nd.ID), tuple.Atom(nd.Name), tuple.Int(nd.Value), NextValue(nd.Next))
+	}
+	s.Assert(tuple.Environment, ts...)
+}
+
+// Image is a synthetic digitized image: a W×H grid of intensities.
+type Image struct {
+	W, H int
+	Pix  []int64 // row-major, intensities in [0, 255]
+}
+
+// At returns the intensity at (x, y).
+func (im *Image) At(x, y int) int64 { return im.Pix[y*im.W+x] }
+
+// Set writes the intensity at (x, y).
+func (im *Image) Set(x, y int, v int64) { im.Pix[y*im.W+x] = v }
+
+// Coord flattens (x, y) to the single pixel id used in tuples.
+func (im *Image) Coord(x, y int) int64 { return int64(y*im.W + x) }
+
+// XY recovers (x, y) from a pixel id.
+func (im *Image) XY(p int64) (x, y int) { return int(p) % im.W, int(p) / im.W }
+
+// Neighbors4 returns the 4-connected neighbour pixel ids of p.
+func (im *Image) Neighbors4(p int64) []int64 {
+	x, y := im.XY(p)
+	out := make([]int64, 0, 4)
+	if x > 0 {
+		out = append(out, im.Coord(x-1, y))
+	}
+	if x < im.W-1 {
+		out = append(out, im.Coord(x+1, y))
+	}
+	if y > 0 {
+		out = append(out, im.Coord(x, y-1))
+	}
+	if y < im.H-1 {
+		out = append(out, im.Coord(x, y+1))
+	}
+	return out
+}
+
+// GenImage synthesizes a w×h image made of `blobs` rectangular regions of
+// random bright intensity over a dark background, mimicking a thresholded
+// terrain scan. Blobs may overlap, merging into larger regions.
+func GenImage(w, h, blobs int, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := &Image{W: w, H: h, Pix: make([]int64, w*h)}
+	for i := range im.Pix {
+		im.Pix[i] = rng.Int63n(60) // background: dark
+	}
+	for b := 0; b < blobs; b++ {
+		bw := 1 + rng.Intn(max(1, w/3))
+		bh := 1 + rng.Intn(max(1, h/3))
+		x0 := rng.Intn(max(1, w-bw))
+		y0 := rng.Intn(max(1, h-bh))
+		val := 150 + rng.Int63n(100) // bright
+		for y := y0; y < y0+bh; y++ {
+			for x := x0; x < x0+bw; x++ {
+				im.Set(x, y, val)
+			}
+		}
+	}
+	return im
+}
+
+// Threshold is the paper's T operation: binarize at the given cut.
+func Threshold(v, cut int64) int64 {
+	if v >= cut {
+		return 1
+	}
+	return 0
+}
+
+// LoadImage asserts <image, p, v> tuples for every pixel.
+func LoadImage(s *dataspace.Store, im *Image) {
+	ts := make([]tuple.Tuple, 0, im.W*im.H)
+	for p := int64(0); p < int64(im.W*im.H); p++ {
+		ts = append(ts, tuple.New(tuple.Atom("image"), tuple.Int(p), tuple.Int(im.Pix[p])))
+	}
+	s.Assert(tuple.Environment, ts...)
+}
+
+// ReferenceLabels computes the ground-truth region labeling: pixels are
+// thresholded at cut, and each 4-connected region of equal threshold value
+// is labeled with the largest pixel id it covers (the paper's "label of
+// the largest xy-coordinate covered by the region"). It returns the label
+// of every pixel.
+func ReferenceLabels(im *Image, cut int64) []int64 {
+	n := im.W * im.H
+	th := make([]int64, n)
+	for i, v := range im.Pix {
+		th[i] = Threshold(v, cut)
+	}
+	labels := make([]int64, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		// Flood fill the region of `start`, tracking the max pixel id.
+		stack := []int64{int64(start)}
+		region := []int64{}
+		maxID := int64(start)
+		labels[start] = -2 // visiting
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			region = append(region, p)
+			if p > maxID {
+				maxID = p
+			}
+			for _, q := range im.Neighbors4(p) {
+				if labels[q] == -1 && th[q] == th[int64(start)] {
+					labels[q] = -2
+					stack = append(stack, q)
+				}
+			}
+		}
+		for _, p := range region {
+			labels[p] = maxID
+		}
+	}
+	return labels
+}
+
+// RegionCount returns the number of distinct regions in a labeling.
+func RegionCount(labels []int64) int {
+	set := make(map[int64]struct{})
+	for _, l := range labels {
+		set[l] = struct{}{}
+	}
+	return len(set)
+}
+
+// Stream generates n work items <job, i, payload> for producer/consumer
+// experiments.
+func Stream(n int, seed int64) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.New(tuple.Atom("job"), tuple.Int(int64(i)), tuple.Int(rng.Int63n(1000)))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

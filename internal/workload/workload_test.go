@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func TestArrayDeterministic(t *testing.T) {
+	a1, s1 := Array(100, 42)
+	a2, s2 := Array(100, 42)
+	if s1 != s2 {
+		t.Fatal("same seed produced different sums")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different arrays")
+		}
+	}
+	_, s3 := Array(100, 43)
+	if s3 == s1 {
+		t.Error("different seeds should (almost surely) differ")
+	}
+	var manual int64
+	for _, v := range a1 {
+		manual += v
+		if v < 1 || v > 100 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+	if manual != s1 {
+		t.Errorf("sum = %d, want %d", s1, manual)
+	}
+}
+
+func TestLoadArray(t *testing.T) {
+	s := dataspace.New()
+	sum := LoadArray(s, 10, 1)
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	var got int64
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			v, _ := inst.Tuple.Field(1).AsInt()
+			got += v
+			return true
+		})
+	})
+	if got != sum {
+		t.Errorf("loaded sum = %d, want %d", got, sum)
+	}
+
+	s2 := dataspace.New()
+	sum2 := LoadArrayPhased(s2, 10, 1)
+	if sum2 != sum {
+		t.Error("phased loader changed values")
+	}
+	s2.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			if inst.Tuple.Arity() != 3 || !inst.Tuple.Field(2).Equal(tuple.Int(1)) {
+				t.Errorf("bad phased tuple %v", inst.Tuple)
+			}
+			return true
+		})
+	})
+}
+
+func TestPropertyListStructure(t *testing.T) {
+	nodes := PropertyList(8, 7)
+	if len(nodes) != 8 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	names := map[string]bool{}
+	for i, nd := range nodes {
+		if nd.ID != int64(i+1) {
+			t.Errorf("node %d has ID %d", i, nd.ID)
+		}
+		if i < len(nodes)-1 && nd.Next != int64(i+2) {
+			t.Errorf("node %d next = %d", i, nd.Next)
+		}
+		names[nd.Name] = true
+	}
+	if nodes[len(nodes)-1].Next != 0 {
+		t.Error("last node should have Next 0")
+	}
+	if len(names) != 8 {
+		t.Errorf("names not distinct: %v", names)
+	}
+}
+
+func TestNextValue(t *testing.T) {
+	if NextValue(0) != tuple.Atom("nil") {
+		t.Error("0 should encode as nil")
+	}
+	if NextValue(3) != tuple.Int(3) {
+		t.Error("3 should encode as Int(3)")
+	}
+}
+
+func TestLoadPropertyList(t *testing.T) {
+	s := dataspace.New()
+	nodes := PropertyList(5, 1)
+	LoadPropertyList(s, nodes)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestImageCoordsAndNeighbors(t *testing.T) {
+	im := &Image{W: 3, H: 2, Pix: make([]int64, 6)}
+	if im.Coord(2, 1) != 5 {
+		t.Errorf("Coord = %d", im.Coord(2, 1))
+	}
+	x, y := im.XY(5)
+	if x != 2 || y != 1 {
+		t.Errorf("XY = %d,%d", x, y)
+	}
+	// Corner pixel 0 has 2 neighbours; center-edge pixel 1 has 3.
+	if n := im.Neighbors4(0); len(n) != 2 {
+		t.Errorf("corner neighbours = %v", n)
+	}
+	if n := im.Neighbors4(1); len(n) != 3 {
+		t.Errorf("edge neighbours = %v", n)
+	}
+}
+
+func TestGenImageDeterministicAndBright(t *testing.T) {
+	im1 := GenImage(16, 16, 3, 9)
+	im2 := GenImage(16, 16, 3, 9)
+	for i := range im1.Pix {
+		if im1.Pix[i] != im2.Pix[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	bright := 0
+	for _, v := range im1.Pix {
+		if v >= 100 {
+			bright++
+		}
+	}
+	if bright == 0 {
+		t.Error("no bright blob pixels generated")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if Threshold(99, 100) != 0 || Threshold(100, 100) != 1 {
+		t.Error("threshold misclassifies")
+	}
+}
+
+func TestReferenceLabelsInvariants(t *testing.T) {
+	im := GenImage(12, 12, 3, 5)
+	labels := ReferenceLabels(im, 100)
+	if len(labels) != 144 {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	th := make([]int64, len(im.Pix))
+	for i, v := range im.Pix {
+		th[i] = Threshold(v, 100)
+	}
+	for p := int64(0); p < int64(len(labels)); p++ {
+		// The label is the max pixel id of the region, so label >= p only
+		// for... actually each pixel's label must be >= some pixel in the
+		// region — at minimum the label names a pixel of the same region.
+		l := labels[p]
+		if l < 0 || l >= int64(len(labels)) {
+			t.Fatalf("label %d out of range", l)
+		}
+		if th[l] != th[p] {
+			t.Errorf("label %d has different threshold class than pixel %d", l, p)
+		}
+		// 4-connected neighbours with the same threshold share the label.
+		for _, q := range im.Neighbors4(p) {
+			if th[q] == th[p] && labels[q] != labels[p] {
+				t.Errorf("neighbours %d,%d same class, labels %d,%d", p, q, labels[p], labels[q])
+			}
+		}
+	}
+	// A region's label pixel must carry that label itself.
+	for p, l := range labels {
+		if labels[l] != l {
+			t.Errorf("pixel %d labeled %d, but %d labeled %d", p, l, l, labels[l])
+		}
+	}
+}
+
+func TestReferenceLabelsUniform(t *testing.T) {
+	// A uniform image is one region labeled with the last pixel id.
+	im := &Image{W: 4, H: 4, Pix: make([]int64, 16)}
+	labels := ReferenceLabels(im, 100)
+	for _, l := range labels {
+		if l != 15 {
+			t.Fatalf("uniform image labels = %v", labels)
+		}
+	}
+	if RegionCount(labels) != 1 {
+		t.Error("uniform image should be one region")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	s1 := Stream(10, 3)
+	s2 := Stream(10, 3)
+	for i := range s1 {
+		if !s1[i].Equal(s2[i]) {
+			t.Fatal("stream not deterministic")
+		}
+	}
+	if len(s1) != 10 {
+		t.Errorf("len = %d", len(s1))
+	}
+}

@@ -1,0 +1,104 @@
+package sdl
+
+import (
+	"context"
+)
+
+// Options configures a System.
+type Options struct {
+	// Mode selects the transaction engine's concurrency control
+	// (default Coarse).
+	Mode Mode
+	// Trace attaches a Recorder when positive (event cap) or when -1
+	// (unbounded).
+	Trace int
+}
+
+// System bundles a complete SDL runtime: store, engine, consensus manager,
+// process runtime, and optional trace recorder. It is the recommended
+// entry point for applications.
+type System struct {
+	Store    *Store
+	Engine   *Engine
+	Cons     *ConsensusManager
+	Runtime  *Runtime
+	Recorder *Recorder // nil unless Options.Trace was set
+}
+
+// New assembles a System.
+func New(opts Options) *System {
+	store := NewStore()
+	var rec *Recorder
+	switch {
+	case opts.Trace > 0:
+		rec = NewRecorder(opts.Trace)
+		rec.Attach(store)
+	case opts.Trace < 0:
+		rec = NewRecorder(0)
+		rec.Attach(store)
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = Coarse
+	}
+	engine := NewEngine(store, mode)
+	cons := NewConsensusManager(engine)
+	rt := NewRuntime(engine, cons)
+	return &System{Store: store, Engine: engine, Cons: cons, Runtime: rt, Recorder: rec}
+}
+
+// Close shuts the system down: processes are cancelled and the consensus
+// detector stops.
+func (s *System) Close() {
+	s.Runtime.Shutdown()
+	s.Cons.Close()
+}
+
+// Define registers a process definition.
+func (s *System) Define(defs ...*Definition) error {
+	for _, d := range defs {
+		if err := s.Runtime.Define(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpawnVals spawns a process with the given argument values.
+func (s *System) SpawnVals(name string, args ...Value) (ProcessID, error) {
+	return s.Runtime.Spawn(name, args...)
+}
+
+// Run spawns the named process and waits until the whole society
+// terminates or ctx is cancelled.
+func (s *System) Run(ctx context.Context, name string, args ...Value) error {
+	if _, err := s.Runtime.Spawn(name, args...); err != nil {
+		return err
+	}
+	return s.Runtime.WaitCtx(ctx)
+}
+
+// Immediate issues a one-shot immediate transaction from the environment.
+func (s *System) Immediate(req Request) (Result, error) {
+	return s.Engine.Immediate(req)
+}
+
+// Delayed issues a one-shot delayed transaction from the environment.
+func (s *System) Delayed(ctx context.Context, req Request) (Result, error) {
+	return s.Engine.Delayed(ctx, req)
+}
+
+// CollectInt scans tuples with the given leading atom and arity 2 and
+// returns their integer second fields (a common test/report helper).
+func (s *System) CollectInt(lead Value) []int64 {
+	var out []int64
+	s.Store.Snapshot(func(r Reader) {
+		r.Scan(2, lead, true, func(_ TupleID, t Tuple) bool {
+			if n, ok := t.Field(1).AsInt(); ok {
+				out = append(out, n)
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench sweep clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The verification gate: everything a commit must pass.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# Regenerate bench_sweep.txt (full parameter sweeps; takes minutes).
+sweep:
+	$(GO) run ./cmd/sdlbench | tee bench_sweep.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,6 +1,6 @@
 package sdl
 
-// One testing.B benchmark per experiment (E1–E11). The paper reports no
+// One testing.B benchmark per experiment (E1–E12). The paper reports no
 // measured tables, so these regenerate its worked examples and performance
 // claims; the full parameter sweeps live in cmd/sdlbench. Each benchmark
 // iteration runs one complete experiment configuration, so ns/op is the
@@ -8,6 +8,7 @@ package sdl
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/sdl-lang/sdl/internal/bench"
@@ -106,4 +107,17 @@ func BenchmarkE11JoinPlanner(b *testing.B) {
 		_, err := bench.E11JoinPlanner(ctx, []int{1000})
 		return err
 	})
+}
+
+// BenchmarkE12ShardScaling runs the keyed RMW workload once per iteration
+// at each shard count; compare the sub-benchmarks' ns/op to see the
+// per-shard-lock scaling (flat at GOMAXPROCS=1, diverging with cores).
+func BenchmarkE12ShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchExperiment(b, func(context.Context) error {
+				return bench.ShardedRMW(shards, 1024)
+			})
+		})
+	}
 }

@@ -1,4 +1,4 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E11, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E12, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -102,6 +102,13 @@ func experiments() []experiment {
 			},
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E11JoinPlanner(ctx, []int{100, 1000, 10000, 50000})
+			}},
+		{"E12",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E12ShardScaling(ctx, []int{256})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E12ShardScaling(ctx, []int{1024, 4096})
 			}},
 	}
 }

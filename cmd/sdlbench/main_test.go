@@ -56,8 +56,8 @@ func TestRunMultipleSelection(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := experiments()
-	if len(exps) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(exps))
+	if len(exps) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, ex := range exps {

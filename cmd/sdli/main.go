@@ -10,6 +10,7 @@
 // Flags:
 //
 //	-mode coarse|optimistic   concurrency control (default coarse)
+//	-shards n                 dataspace shard count (0 = GOMAXPROCS default)
 //	-timeout duration         abort the run after this long (default 1m);
 //	                          on timeout, prints each live process's state
 //	-dump                     print the final dataspace contents
@@ -50,6 +51,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sdli", flag.ContinueOnError)
 	var (
 		modeName  = fs.String("mode", "coarse", "concurrency control: coarse or optimistic")
+		shards    = fs.Int("shards", 0, "dataspace shard count, rounded up to a power of two (0 = GOMAXPROCS default)")
 		timeout   = fs.Duration("timeout", time.Minute, "abort the run after this long")
 		dump      = fs.Bool("dump", false, "print the final dataspace contents")
 		showTrace = fs.Bool("trace", false, "print the dataspace event log")
@@ -97,7 +99,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
 
-	store := dataspace.New()
+	store := dataspace.New(dataspace.WithShards(*shards))
 	var rec *trace.Recorder
 	if *showTrace || *svgPath != "" {
 		rec = trace.NewRecorder(0)

@@ -211,10 +211,18 @@ func RunSum1(ctx context.Context, rt *process.Runtime, n int, seed int64) (int64
 	if err := rt.Define(Sum1Def()); err != nil {
 		return 0, err
 	}
+	// The phase barrier is a consensus over every live Sum1 process, so the
+	// initial community must be registered as a group: spawning one by one
+	// would let an early member's consensus fire before the rest exist.
+	reqs := make([]process.SpawnReq, 0, n/2)
 	for k := int64(2); k <= int64(n); k += 2 {
-		if _, err := rt.Spawn("Sum1", tuple.Int(k), tuple.Int(1)); err != nil {
-			return 0, err
-		}
+		reqs = append(reqs, process.SpawnReq{
+			Type: "Sum1",
+			Args: []tuple.Value{tuple.Int(k), tuple.Int(1)},
+		})
+	}
+	if _, err := rt.SpawnGroup(reqs); err != nil {
+		return 0, err
 	}
 	if err := wait(ctx, rt); err != nil {
 		return 0, err

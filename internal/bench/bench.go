@@ -1,7 +1,7 @@
 // Package bench is the experiment harness reproducing the paper's
 // evaluation (see DESIGN.md §4 and EXPERIMENTS.md). The paper — a language
 // design overview — reports no measured tables or figures, so each
-// experiment E1–E11 regenerates one of its worked examples or qualitative
+// experiment E1–E12 regenerates one of its worked examples or qualitative
 // performance claims as a measured series. The harness is deterministic
 // (seeded workloads) up to scheduler timing.
 package bench

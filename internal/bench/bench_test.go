@@ -146,6 +146,17 @@ func TestE10ShapeKeyedBeatsBroad(t *testing.T) {
 	}
 }
 
+func TestE12Smoke(t *testing.T) {
+	tbl, err := E12ShardScaling(ctxT(t), []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three shard counts × two workloads.
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Metrics) != 6 {
+		t.Errorf("rows = %+v", tbl.Rows)
+	}
+}
+
 func TestE11ShapePlannerWins(t *testing.T) {
 	tbl, err := E11JoinPlanner(ctxT(t), []int{5000})
 	if err != nil {

@@ -763,6 +763,143 @@ func E11JoinPlanner(_ context.Context, sizes []int) (*Table, error) {
 	return t, nil
 }
 
+// shardedRMW runs the E12 keyed read-modify-write workload over a loaded
+// property list: `workers` goroutines each issue `opsPerWorker` Immediate
+// transactions, every one naming its node by ID. The constant lead keys
+// the transaction's footprint to one shard, so transactions on different
+// nodes hold different shard locks and commit in parallel. Returns the
+// wall time; verifies that every increment landed exactly once.
+func shardedRMW(e *txn.Engine, s *dataspace.Store, nodes []workload.PropertyNode,
+	workers, opsPerWorker int) (time.Duration, error) {
+	var initSum int64
+	for _, nd := range nodes {
+		initSum += nd.Value
+	}
+	n := len(nodes)
+	d, err := timeIt(func() error {
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPerWorker; i++ {
+					id := int64((w*opsPerWorker+i)%n) + 1
+					_, err := e.Immediate(txn.Request{
+						Proc: tuple.ProcessID(w + 1),
+						View: view.Universal(),
+						Query: pattern.Q(pattern.R(
+							pattern.C(tuple.Int(id)), pattern.V("p"), pattern.V("v"), pattern.V("x"))),
+						Asserts: []pattern.Pattern{pattern.P(
+							pattern.C(tuple.Int(id)), pattern.V("p"),
+							pattern.E(expr.Add(expr.V("v"), expr.Const(tuple.Int(1)))),
+							pattern.V("x"))},
+					})
+					if err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	})
+	if err != nil {
+		return 0, err
+	}
+	var gotSum int64
+	s.Snapshot(func(r dataspace.Reader) {
+		r.Each(func(inst dataspace.Instance) bool {
+			v, _ := inst.Tuple.Field(2).AsInt()
+			gotSum += v
+			return true
+		})
+	})
+	total := int64(workers * opsPerWorker)
+	if gotSum != initSum+total {
+		return 0, fmt.Errorf("value sum %d, want %d (lost or duplicated increments)",
+			gotSum, initSum+total)
+	}
+	return d, nil
+}
+
+// ShardedRMW runs one configuration of the E12 keyed RMW workload (for the
+// per-shard-count testing.B benchmarks).
+func ShardedRMW(shards, listLen int) error {
+	nodes := workload.PropertyList(listLen, seed)
+	s := dataspace.New(dataspace.WithShards(shards))
+	workload.LoadPropertyList(s, nodes)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	_, err := shardedRMW(txn.New(s, txn.Coarse), s, nodes, workers, 1000)
+	return err
+}
+
+// E12ShardScaling measures the sharded store at shard counts 1, 4, and 16
+// on two workloads: a keyed read-modify-write sweep over the §3.2 property
+// list (every transaction names its node, so its footprint is one shard
+// and disjoint transactions commit in parallel), and the §3.1 Sum3
+// replication program end to end. Shard-count gains require hardware
+// parallelism: with GOMAXPROCS=1 the counts should tie to within noise,
+// while at GOMAXPROCS>=4 the keyed workload scales with the shard count
+// until it saturates the cores.
+func E12ShardScaling(ctx context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "sharded dataspace: shard count vs throughput (keyed RMW + Sum3)",
+		Note:  `"large-scale concurrency … a large number of processes making progress simultaneously" — per-shard locks let disjoint-footprint transactions commit in parallel`,
+	}
+	shardCounts := []int{1, 4, 16}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const opsPerWorker = 2000
+	for _, n := range sizes {
+		row := Row{Config: fmt.Sprintf("n=%d workers=%d", n, workers)}
+		nodes := workload.PropertyList(n, seed)
+		_, want := workload.Array(n, seed)
+		for _, sc := range shardCounts {
+			s := dataspace.New(dataspace.WithShards(sc))
+			workload.LoadPropertyList(s, nodes)
+			d, err := shardedRMW(txn.New(s, txn.Coarse), s, nodes, workers, opsPerWorker)
+			if err != nil {
+				return nil, fmt.Errorf("E12 rmw shards=%d n=%d: %w", sc, n, err)
+			}
+			total := float64(workers * opsPerWorker)
+			row.Metrics = append(row.Metrics, Metric{
+				Name:  fmt.Sprintf("RMW s=%d", sc),
+				Value: total / d.Seconds() / 1000,
+				Unit:  "kops/s",
+			})
+		}
+		for _, sc := range shardCounts {
+			rt := process.NewRuntime(
+				txn.New(dataspace.New(dataspace.WithShards(sc)), txn.Coarse), nil)
+			var got int64
+			d, err := timeIt(func() error {
+				var err error
+				got, err = arraysum.RunSum3(ctx, rt, n, seed)
+				return err
+			})
+			closeRT(rt)
+			if err != nil {
+				return nil, fmt.Errorf("E12 Sum3 shards=%d n=%d: %w", sc, n, err)
+			}
+			if got != want {
+				return nil, fmt.Errorf("E12 Sum3 shards=%d n=%d: sum %d, want %d", sc, n, got, want)
+			}
+			row.Metrics = append(row.Metrics, Ms(fmt.Sprintf("Sum3 s=%d", sc), d))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
 // E9ConcurrencyControl compares the coarse and optimistic engines on a
 // read-mostly workload (the ablation DESIGN.md calls out).
 func E9ConcurrencyControl(_ context.Context, workerCounts []int) (*Table, error) {

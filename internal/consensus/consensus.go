@@ -148,8 +148,9 @@ type Manager struct {
 
 	// pendingKeys accumulates the index buckets touched by commits since
 	// the detector last evaluated; it drives cache invalidation. Guarded
-	// by pendingMu (the commit hook runs under the store's write lock and
-	// must not take m.mu).
+	// by pendingMu (the commit hook runs under the committing shards'
+	// write locks and must not take m.mu; commits on disjoint shard sets
+	// invoke the hook concurrently, which pendingMu serializes).
 	pendingMu   sync.Mutex
 	pendingKeys map[view.BucketKey]struct{}
 
@@ -342,15 +343,6 @@ func (m *Manager) detector() {
 func (m *Manager) evaluateOnce() bool {
 	m.attempts.Add(1)
 
-	// Drain the commit-touched buckets and invalidate affected caches.
-	// Cache fields are only ever written by this detector goroutine.
-	m.pendingMu.Lock()
-	touched := m.pendingKeys
-	if len(touched) > 0 {
-		m.pendingKeys = make(map[view.BucketKey]struct{})
-	}
-	m.pendingMu.Unlock()
-
 	m.mu.Lock()
 	if m.closed || len(m.offers) == 0 {
 		m.mu.Unlock()
@@ -366,20 +358,6 @@ func (m *Manager) evaluateOnce() bool {
 	}
 	m.mu.Unlock()
 
-	if len(touched) > 0 {
-		for _, mem := range members {
-			if !mem.cacheValid {
-				continue
-			}
-			for k := range mem.cacheKeys {
-				if _, hit := touched[k]; hit {
-					mem.cacheValid = false
-					break
-				}
-			}
-		}
-	}
-
 	var offering, idle []*member
 	for _, mem := range members {
 		if o := offers[mem.pid]; o != nil && offerState(o.state.Load()) == stateOffered {
@@ -392,7 +370,7 @@ func (m *Manager) evaluateOnce() bool {
 		return false
 	}
 
-	groups := m.candidateGroups(offering, idle)
+	groups := m.candidateGroups(members, offering, idle)
 	for _, g := range groups {
 		if m.tryFire(g, offers) {
 			return true
@@ -403,7 +381,17 @@ func (m *Manager) evaluateOnce() bool {
 
 // candidateGroups partitions the offering members into import-overlap
 // groups and discards any group that a non-offering member belongs to.
-func (m *Manager) candidateGroups(offering, idle []*member) [][]tuple.ProcessID {
+//
+// Cache invalidation (draining the commit-touched buckets) happens inside
+// the grouping snapshot, while the snapshot's read locks exclude every
+// commit: a commit either completed before the snapshot — and its buckets
+// are in the drained set, invalidating the caches it staled — or starts
+// after it and is drained on the next evaluation. Draining outside the
+// snapshot would leave a window (drain, then commit, then snapshot) in
+// which a stale cache passes for valid and the overlap relation is
+// computed from instance IDs two configurations apart, splitting one
+// consensus set into groups that fire separately.
+func (m *Manager) candidateGroups(members, offering, idle []*member) [][]tuple.ProcessID {
 	parent := make(map[tuple.ProcessID]tuple.ProcessID, len(offering))
 	var find func(tuple.ProcessID) tuple.ProcessID
 	find = func(x tuple.ProcessID) tuple.ProcessID {
@@ -425,6 +413,31 @@ func (m *Manager) candidateGroups(offering, idle []*member) [][]tuple.ProcessID 
 
 	blockedRoots := make(map[tuple.ProcessID]bool)
 	m.engine.Store().Snapshot(func(r dataspace.Reader) {
+		// Drain the commit-touched buckets and invalidate affected caches
+		// under the snapshot's locks (see the function comment). Cache
+		// fields are only ever written by this detector goroutine; never
+		// alias the live map outside pendingMu (commit hooks write to it).
+		m.pendingMu.Lock()
+		var touched map[view.BucketKey]struct{}
+		if len(m.pendingKeys) > 0 {
+			touched = m.pendingKeys
+			m.pendingKeys = make(map[view.BucketKey]struct{})
+		}
+		m.pendingMu.Unlock()
+		if len(touched) > 0 {
+			for _, mem := range members {
+				if !mem.cacheValid {
+					continue
+				}
+				for k := range mem.cacheKeys {
+					if _, hit := touched[k]; hit {
+						mem.cacheValid = false
+						break
+					}
+				}
+			}
+		}
+
 		if r.Len() == 0 {
 			return // empty dataspace: no overlaps; every offer is a singleton set
 		}
@@ -556,8 +569,10 @@ func (h hidingSource) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(
 
 // tryFire attempts to execute the composite transaction of a consensus
 // set. It claims every member's offer, re-validates all queries under the
-// store's write lock, applies all retractions then all assertions as one
-// commit, and resolves the offers. On any failure the claims revert.
+// store's full write lock — a composite commit may span member views and
+// therefore shards, so it locks every shard rather than planning a
+// footprint — applies all retractions then all assertions as one commit,
+// and resolves the offers. On any failure the claims revert.
 func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Offer) bool {
 	claimed := make([]*Offer, 0, len(set))
 	revert := func() {
@@ -665,12 +680,14 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 		}
 	}
 	m.mu.Unlock()
+	// Count the fire before resolving any offer: a resolved offerer may run
+	// (and its observer read Fires) the moment done closes.
+	m.fires.Add(1)
 	for i, o := range claimed {
 		o.res = results[i]
 		o.chosen = chosen[i]
 		o.state.Store(int32(stateFired))
 		close(o.done)
 	}
-	m.fires.Add(1)
 	return true
 }

@@ -13,7 +13,10 @@ import (
 
 // Checkpoint format: a small header followed by one record per tuple
 // instance. The format is deterministic (records sorted by instance ID) so
-// identical configurations produce identical bytes.
+// identical configurations produce identical bytes, regardless of the
+// shard count on either side — tuples are (re)routed to shards by content,
+// so a checkpoint written by a 16-shard store restores into a 1-shard
+// store and vice versa.
 //
 //	header := magic "SDLD" version(uvarint) storeVersion(uvarint) count(uvarint)
 //	record := id(uvarint) owner(uvarint) tuple
@@ -30,13 +33,18 @@ const checkpointVersion = 1
 // captures tuple contents, instance IDs, owners, and the store version —
 // enough to resume a stopped computation or to diff two configurations.
 func (s *Store) WriteCheckpoint(w io.Writer) error {
-	s.mu.RLock()
-	insts := make([]Instance, 0, len(s.entries))
-	for id, e := range s.entries {
-		insts = append(insts, Instance{ID: id, Tuple: e.t, Owner: e.owner})
-	}
-	version := s.version
-	s.mu.RUnlock()
+	var (
+		insts   []Instance
+		version uint64
+	)
+	s.Snapshot(func(r Reader) {
+		insts = make([]Instance, 0, r.Len())
+		r.Each(func(inst Instance) bool {
+			insts = append(insts, inst)
+			return true
+		})
+		version = r.Version()
+	})
 	sort.Slice(insts, func(i, j int) bool { return insts[i].ID < insts[j].ID })
 
 	bw := bufio.NewWriter(w)
@@ -62,10 +70,12 @@ func (s *Store) WriteCheckpoint(w io.Writer) error {
 // an empty store. It fails if the store already contains tuples (restoring
 // into live state would corrupt instance identity).
 func (s *Store) ReadCheckpoint(r io.Reader) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.entries) != 0 {
-		return fmt.Errorf("%w: store not empty", ErrBadCheckpoint)
+	s.lockSet(&s.all)
+	defer s.unlockSet(&s.all)
+	for _, sh := range s.shards {
+		if len(sh.entries) != 0 {
+			return fmt.Errorf("%w: store not empty", ErrBadCheckpoint)
+		}
 	}
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -98,6 +108,7 @@ func (s *Store) ReadCheckpoint(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	seen := make(map[tuple.ID]struct{}, count)
 	var maxID uint64
 	for i := uint64(0); i < count; i++ {
 		id, err := next()
@@ -113,11 +124,13 @@ func (s *Store) ReadCheckpoint(r io.Reader) error {
 			return fmt.Errorf("%w: record %d: %v", ErrBadCheckpoint, i, terr)
 		}
 		data = data[n:]
-		if _, dup := s.entries[tuple.ID(id)]; dup {
+		if _, dup := seen[tuple.ID(id)]; dup {
 			return fmt.Errorf("%w: duplicate instance %d", ErrBadCheckpoint, id)
 		}
-		s.entries[tuple.ID(id)] = entry{t: t, owner: tuple.ProcessID(owner)}
-		s.indexAdd(tuple.ID(id), t)
+		seen[tuple.ID(id)] = struct{}{}
+		sh := s.shards[s.shardIndex(indexKeyOf(t))]
+		sh.entries[tuple.ID(id)] = entry{t: t, owner: tuple.ProcessID(owner)}
+		sh.indexAdd(tuple.ID(id), t)
 		if id > maxID {
 			maxID = id
 		}
@@ -125,7 +138,7 @@ func (s *Store) ReadCheckpoint(r io.Reader) error {
 	if len(data) != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(data))
 	}
-	s.version = storeVersion
+	s.version.Store(storeVersion)
 	// Future IDs must not collide with restored instances.
 	for {
 		cur := s.nextID.Load()

@@ -4,8 +4,8 @@
 //
 //   - indexed scans (arity + leading-field value) implementing
 //     pattern.Source;
-//   - snapshot/update execution under a readers-writer lock, so a whole
-//     transaction evaluates against one consistent configuration;
+//   - snapshot/update execution under per-shard readers-writer locks, so a
+//     whole transaction evaluates against one consistent configuration;
 //   - a monotonically increasing version, bumped once per mutating commit;
 //   - interest-keyed wakeups for delayed transactions: a blocked
 //     transaction registers the (arity, lead) keys its binding query can
@@ -15,11 +15,34 @@
 // process, per the paper ("each tuple is owned by the process that asserted
 // it and the owner may be determined by examining the unique tuple
 // identifier").
+//
+// # Sharding
+//
+// The store is partitioned into a fixed power-of-two number of shards
+// (default GOMAXPROCS-scaled, configurable with WithShards). A tuple lives
+// in the shard addressed by hashing its index key — (arity, canonical
+// leading value) — so one index bucket never straddles shards. Each shard
+// owns its mutex, entry map, lead/arity indexes, waiter registry, and
+// activity counters; the configuration version is a global atomic bumped
+// while the commit's shard locks are held.
+//
+// Transactions whose footprint is statically bounded (every scanned or
+// asserted bucket known up front) lock only the shards covering those
+// buckets via SnapshotKeys/UpdateKeys; operations on disjoint shards
+// commute (Malta & Martinez: tuple operations on disjoint tuples commute)
+// and therefore run in parallel. Multi-shard operations acquire shard
+// locks in ascending shard order — a global order that makes the locking
+// deadlock-free — and hold them to commit (strict two-phase locking), so
+// every execution is conflict-serializable. Snapshot/Update lock all
+// shards and observe one consistent cross-shard configuration.
 package dataspace
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -81,20 +104,103 @@ type indexKey struct {
 	lead  leadKey
 }
 
-// Store is the shared dataspace. The zero value is not usable; construct
-// with New.
-type Store struct {
-	nextID atomic.Uint64
+// indexKeyOf returns the bucket a tuple is indexed (and sharded) under.
+// Arity-0 tuples share the single zero-lead bucket.
+func indexKeyOf(t tuple.Tuple) indexKey {
+	a := t.Arity()
+	if a == 0 {
+		return indexKey{}
+	}
+	return indexKey{arity: a, lead: canonLead(t.Field(0))}
+}
 
+// maxShards bounds the shard count so lock sets fit a fixed-size bitset
+// (no allocation on the per-transaction lock path).
+const maxShards = 256
+
+// shardSet is a fixed-capacity bitset of shard indexes.
+type shardSet struct{ bits [maxShards / 64]uint64 }
+
+func (ss *shardSet) add(i uint32)      { ss.bits[i>>6] |= 1 << (i & 63) }
+func (ss *shardSet) has(i uint32) bool { return ss.bits[i>>6]&(1<<(i&63)) != 0 }
+
+// forEach visits the set's shard indexes in ascending order (the global
+// lock order), stopping early when fn returns false.
+func (ss *shardSet) forEach(fn func(i uint32) bool) {
+	for w, word := range ss.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			if !fn(uint32(w*64 + b)) {
+				return
+			}
+			word &^= 1 << b
+		}
+	}
+}
+
+// shard is one partition of the dataspace. A shard's maps, counters, and
+// waiter registry are guarded by its mu (the registry additionally has its
+// own short-lived mutex so Wait/cancel need no shard lock).
+type shard struct {
 	mu      sync.RWMutex
 	entries map[tuple.ID]entry
 	byArity map[int]map[tuple.ID]struct{}
 	byLead  map[indexKey]map[tuple.ID]struct{}
-	version uint64
 
-	waiters  waiterRegistry
-	stats    Stats
-	onCommit []CommitHook
+	asserts  uint64
+	retracts uint64
+
+	waiters waiterRegistry
+}
+
+// Store is the shared dataspace. The zero value is not usable; construct
+// with New.
+type Store struct {
+	nextID  atomic.Uint64
+	version atomic.Uint64
+	commits atomic.Uint64
+
+	shards []*shard
+	mask   uint32
+	all    shardSet // every shard index, for the full-lock paths
+
+	broadWake atomic.Bool
+	onCommit  []CommitHook
+}
+
+// Option configures a Store under construction.
+type Option func(*storeConfig)
+
+type storeConfig struct {
+	shards int
+}
+
+// WithShards sets the shard count. Values are rounded up to a power of two
+// and clamped to [1, 256]; zero or negative selects the default
+// (GOMAXPROCS-scaled).
+func WithShards(n int) Option {
+	return func(c *storeConfig) { c.shards = n }
+}
+
+func defaultShardCount() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+func normalizeShardCount(n int) int {
+	if n <= 0 {
+		n = defaultShardCount()
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n))
+	}
+	return n
 }
 
 // Stats counts dataspace activity; retrieved via Store.Stats.
@@ -105,11 +211,14 @@ type Stats struct {
 }
 
 // CommitHook observes committed mutations (used by the trace subsystem).
-// Hooks run under the store's write lock and must not call back into the
-// store.
+// Hooks run while the commit's shard write locks are held and must not
+// call back into the store. Commits touching disjoint shard sets run — and
+// therefore invoke hooks — concurrently, so hooks must be safe to call
+// from multiple goroutines.
 type CommitHook func(rec CommitRecord)
 
-// CommitRecord describes one committed mutation batch.
+// CommitRecord describes one committed mutation batch (the merged record
+// of every shard the commit touched).
 type CommitRecord struct {
 	Version  uint64
 	Owner    tuple.ProcessID
@@ -125,12 +234,97 @@ type Instance struct {
 }
 
 // New returns an empty dataspace.
-func New() *Store {
-	return &Store{
-		entries: make(map[tuple.ID]entry),
-		byArity: make(map[int]map[tuple.ID]struct{}),
-		byLead:  make(map[indexKey]map[tuple.ID]struct{}),
+func New(opts ...Option) *Store {
+	var cfg storeConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
+	n := normalizeShardCount(cfg.shards)
+	s := &Store{
+		shards: make([]*shard, n),
+		mask:   uint32(n - 1),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			entries: make(map[tuple.ID]entry),
+			byArity: make(map[int]map[tuple.ID]struct{}),
+			byLead:  make(map[indexKey]map[tuple.ID]struct{}),
+		}
+		s.all.add(uint32(i))
+	}
+	return s
+}
+
+// NumShards returns the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardIndex hashes an index key onto a shard: FNV-1a accumulation over
+// the key's canonical fields, then a full-avalanche finalizer so that
+// differences anywhere in the input (e.g. the high mantissa bits that
+// distinguish small numeric leads) reach the low bits the mask selects.
+// Every tuple of one bucket maps to the same shard.
+func (s *Store) shardIndex(k indexKey) uint32 {
+	if s.mask == 0 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		h ^= x
+		h *= prime64
+	}
+	mix(uint64(k.arity))
+	mix(uint64(k.lead.class))
+	mix(math.Float64bits(k.lead.num))
+	for i := 0; i < len(k.lead.str); i++ {
+		h ^= uint64(k.lead.str[i])
+		h *= prime64
+	}
+	// murmur3 fmix64 finalizer.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return uint32(h) & s.mask
+}
+
+// planShards maps interest keys onto the shard set their buckets live in.
+// A lead-unknown key of arity > 0 can match tuples in any shard, so it
+// widens the plan to every shard; arity-0 keys address the single
+// zero-lead bucket.
+func (s *Store) planShards(keys []InterestKey) shardSet {
+	var ss shardSet
+	for _, k := range keys {
+		switch {
+		case k.Arity == 0:
+			ss.add(s.shardIndex(indexKey{}))
+		case k.LeadKnown:
+			ss.add(s.shardIndex(indexKey{arity: k.Arity, lead: canonLead(k.Lead)}))
+		default:
+			return s.all
+		}
+	}
+	return ss
+}
+
+func (s *Store) rlockSet(ss *shardSet) {
+	ss.forEach(func(i uint32) bool { s.shards[i].mu.RLock(); return true })
+}
+
+func (s *Store) runlockSet(ss *shardSet) {
+	ss.forEach(func(i uint32) bool { s.shards[i].mu.RUnlock(); return true })
+}
+
+func (s *Store) lockSet(ss *shardSet) {
+	ss.forEach(func(i uint32) bool { s.shards[i].mu.Lock(); return true })
+}
+
+func (s *Store) unlockSet(ss *shardSet) {
+	ss.forEach(func(i uint32) bool { s.shards[i].mu.Unlock(); return true })
 }
 
 // OnCommit registers a hook invoked for every mutating commit. Must be
@@ -171,14 +365,19 @@ type Writer interface {
 	Delete(id tuple.ID) error
 }
 
-// reader/writer implement the interfaces over a locked store.
-type reader struct{ s *Store }
+// reader/writer implement the interfaces over a locked shard set.
+type reader struct {
+	s  *Store
+	ss *shardSet // the shards this reader holds locked
+}
 
 type writer struct {
 	reader
 	owner    tuple.ProcessID
 	inserted []Instance
+	insShard []uint32
 	deleted  []Instance
+	delShard []uint32
 }
 
 var (
@@ -186,37 +385,67 @@ var (
 	_ Writer = (*writer)(nil)
 )
 
-// Snapshot runs fn with read access to a consistent configuration. Scans
-// within fn are reentrant (the lock is held once, here).
+// Snapshot runs fn with read access to a consistent configuration of the
+// whole dataspace. Scans within fn are reentrant (the locks are held once,
+// here).
 func (s *Store) Snapshot(fn func(r Reader)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fn(reader{s: s})
+	s.snapshotSet(s.all, fn)
 }
 
-// Update runs fn with exclusive access. If fn returns nil, its mutations
-// are committed: the version is bumped (when anything changed), waiters
-// whose interest keys intersect the written keys are woken, and commit
-// hooks run. If fn returns an error, mutations made through the writer are
-// rolled back and the error is returned.
+// SnapshotKeys runs fn with read access to a consistent configuration of
+// the shards covering keys. The reader sees ONLY tuples in those shards:
+// scans and Gets outside the covered buckets return nothing. Callers must
+// derive keys from the same (arity, lead) pairs they will scan — the
+// transaction engine's footprint planner does.
+func (s *Store) SnapshotKeys(keys []InterestKey, fn func(r Reader)) {
+	s.snapshotSet(s.planShards(keys), fn)
+}
+
+func (s *Store) snapshotSet(ss shardSet, fn func(r Reader)) {
+	s.rlockSet(&ss)
+	defer s.runlockSet(&ss)
+	fn(reader{s: s, ss: &ss})
+}
+
+// Update runs fn with exclusive access to the whole dataspace. If fn
+// returns nil, its mutations are committed: the version is bumped (when
+// anything changed), waiters whose interest keys intersect the written
+// keys are woken, and commit hooks run. If fn returns an error, mutations
+// made through the writer are rolled back and the error is returned.
 func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
-	s.mu.Lock()
-	w := &writer{reader: reader{s: s}, owner: owner}
+	return s.updateSet(s.all, owner, fn)
+}
+
+// UpdateKeys is Update restricted to the shards covering keys: only those
+// shards are locked, so transactions with disjoint footprints commit in
+// parallel. The writer panics on an Insert outside the covered shards and
+// reports ErrNoSuchTuple for Deletes outside them; callers must plan keys
+// covering every bucket they scan, retract from, or assert into.
+func (s *Store) UpdateKeys(owner tuple.ProcessID, keys []InterestKey, fn func(w Writer) error) error {
+	return s.updateSet(s.planShards(keys), owner, fn)
+}
+
+func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) error {
+	s.lockSet(&ss)
+	w := &writer{reader: reader{s: s, ss: &ss}, owner: owner}
 	err := fn(w)
 	if err != nil {
 		w.rollback()
-		s.mu.Unlock()
+		s.unlockSet(&ss)
 		return err
 	}
 	var rec CommitRecord
 	changed := len(w.inserted) > 0 || len(w.deleted) > 0
 	if changed {
-		s.version++
-		s.stats.Commits++
-		s.stats.Asserts += uint64(len(w.inserted))
-		s.stats.Retracts += uint64(len(w.deleted))
+		s.commits.Add(1)
+		for _, si := range w.insShard {
+			s.shards[si].asserts++
+		}
+		for _, si := range w.delShard {
+			s.shards[si].retracts++
+		}
 		rec = CommitRecord{
-			Version:  s.version,
+			Version:  s.version.Add(1),
 			Owner:    owner,
 			Inserted: w.inserted,
 			Deleted:  w.deleted,
@@ -225,39 +454,47 @@ func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
 			h(rec)
 		}
 	}
-	s.mu.Unlock()
+	s.unlockSet(&ss)
 	if changed {
-		s.waiters.notify(rec)
+		s.notify(rec, w)
 	}
 	return nil
 }
 
 // Version returns the current configuration version.
 func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
+	return s.version.Load()
 }
 
 // Len returns the current number of tuple instances.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
+	n := 0
+	s.Snapshot(func(r Reader) { n = r.Len() })
+	return n
 }
 
 // Stats returns a copy of the activity counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	st := Stats{Commits: s.commits.Load()}
+	s.rlockSet(&s.all)
+	for _, sh := range s.shards {
+		st.Asserts += sh.asserts
+		st.Retracts += sh.retracts
+	}
+	s.runlockSet(&s.all)
+	return st
 }
 
 // Assert inserts tuples outside any transaction (initial dataspace
 // contents, tests). It returns the new instance IDs.
 func (s *Store) Assert(owner tuple.ProcessID, ts ...tuple.Tuple) []tuple.ID {
 	ids := make([]tuple.ID, len(ts))
-	_ = s.Update(owner, func(w Writer) error {
+	// Plan the exact shard set so bulk loads of one bucket stay narrow.
+	var ss shardSet
+	for _, t := range ts {
+		ss.add(s.shardIndex(indexKeyOf(t)))
+	}
+	_ = s.updateSet(ss, owner, func(w Writer) error {
 		for i, t := range ts {
 			ids[i] = w.Insert(t, owner)
 		}
@@ -269,132 +506,212 @@ func (s *Store) Assert(owner tuple.ProcessID, ts ...tuple.Tuple) []tuple.ID {
 // All returns every instance currently in the dataspace (test helper and
 // trace support); order is unspecified.
 func (s *Store) All() []Instance {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Instance, 0, len(s.entries))
-	for id, e := range s.entries {
-		out = append(out, Instance{ID: id, Tuple: e.t, Owner: e.owner})
-	}
+	return s.AllInto(nil)
+}
+
+// AllInto appends every instance to buf (reusing its capacity) and returns
+// the result. Callers that snapshot repeatedly can recycle one buffer.
+func (s *Store) AllInto(buf []Instance) []Instance {
+	out := buf[:0]
+	s.Snapshot(func(r Reader) {
+		if n := r.Len(); cap(out) < n {
+			out = make([]Instance, 0, n)
+		}
+		r.Each(func(inst Instance) bool {
+			out = append(out, inst)
+			return true
+		})
+	})
 	return out
 }
 
 // --- reader ---
 
 func (r reader) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
-	s := r.s
-	var ids map[tuple.ID]struct{}
 	if leadKnown {
-		ids = s.byLead[indexKey{arity: arity, lead: canonLead(lead)}]
-	} else {
-		ids = s.byArity[arity]
-	}
-	for id := range ids {
-		e := s.entries[id]
-		if !fn(id, e.t) {
-			return
+		k := indexKey{arity: arity, lead: canonLead(lead)}
+		si := r.s.shardIndex(k)
+		if !r.ss.has(si) {
+			return // bucket outside the reader's locked footprint
 		}
+		sh := r.s.shards[si]
+		for id := range sh.byLead[k] {
+			if !fn(id, sh.entries[id].t) {
+				return
+			}
+		}
+		return
 	}
+	// Lead unknown: tuples of this arity may live in any locked shard.
+	stopped := false
+	r.ss.forEach(func(si uint32) bool {
+		sh := r.s.shards[si]
+		for id := range sh.byArity[arity] {
+			if !fn(id, sh.entries[id].t) {
+				stopped = true
+				return false
+			}
+		}
+		return true
+	})
+	_ = stopped
 }
 
 func (r reader) Get(id tuple.ID) (Instance, bool) {
-	e, ok := r.s.entries[id]
-	if !ok {
-		return Instance{}, false
-	}
-	return Instance{ID: id, Tuple: e.t, Owner: e.owner}, true
+	var (
+		inst Instance
+		ok   bool
+	)
+	r.ss.forEach(func(si uint32) bool {
+		if e, hit := r.s.shards[si].entries[id]; hit {
+			inst = Instance{ID: id, Tuple: e.t, Owner: e.owner}
+			ok = true
+			return false
+		}
+		return true
+	})
+	return inst, ok
 }
 
 func (r reader) Each(fn func(Instance) bool) {
-	for id, e := range r.s.entries {
-		if !fn(Instance{ID: id, Tuple: e.t, Owner: e.owner}) {
-			return
+	r.ss.forEach(func(si uint32) bool {
+		for id, e := range r.s.shards[si].entries {
+			if !fn(Instance{ID: id, Tuple: e.t, Owner: e.owner}) {
+				return false
+			}
 		}
-	}
+		return true
+	})
 }
 
 func (r reader) Arities() []int {
-	out := make([]int, 0, len(r.s.byArity))
-	for a := range r.s.byArity {
-		out = append(out, a)
-	}
+	// Pre-size to the summed bucket counts; the cross-shard union is
+	// deduplicated with a linear probe (the arity population is tiny).
+	n := 0
+	r.ss.forEach(func(si uint32) bool {
+		n += len(r.s.shards[si].byArity)
+		return true
+	})
+	out := make([]int, 0, n)
+	r.ss.forEach(func(si uint32) bool {
+		for a := range r.s.shards[si].byArity {
+			dup := false
+			for _, have := range out {
+				if have == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
 	return out
 }
 
-func (r reader) Version() uint64 { return r.s.version }
+func (r reader) Version() uint64 { return r.s.version.Load() }
 
-func (r reader) Len() int { return len(r.s.entries) }
+func (r reader) Len() int {
+	n := 0
+	r.ss.forEach(func(si uint32) bool {
+		n += len(r.s.shards[si].entries)
+		return true
+	})
+	return n
+}
 
 // --- writer ---
 
 func (w *writer) Insert(t tuple.Tuple, owner tuple.ProcessID) tuple.ID {
-	s := w.s
-	id := tuple.ID(s.nextID.Add(1))
-	s.entries[id] = entry{t: t, owner: owner}
-	s.indexAdd(id, t)
+	si := w.s.shardIndex(indexKeyOf(t))
+	if !w.ss.has(si) {
+		panic(fmt.Sprintf("dataspace: Insert of %v outside the update's locked shards (footprint plan missed a bucket)", t))
+	}
+	sh := w.s.shards[si]
+	id := tuple.ID(w.s.nextID.Add(1))
+	sh.entries[id] = entry{t: t, owner: owner}
+	sh.indexAdd(id, t)
 	w.inserted = append(w.inserted, Instance{ID: id, Tuple: t, Owner: owner})
+	w.insShard = append(w.insShard, si)
 	return id
 }
 
 func (w *writer) Delete(id tuple.ID) error {
-	s := w.s
-	e, ok := s.entries[id]
+	var (
+		sh *shard
+		si uint32
+		e  entry
+		ok bool
+	)
+	w.ss.forEach(func(i uint32) bool {
+		if got, hit := w.s.shards[i].entries[id]; hit {
+			sh, si, e, ok = w.s.shards[i], i, got, true
+			return false
+		}
+		return true
+	})
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoSuchTuple, id)
 	}
-	delete(s.entries, id)
-	s.indexRemove(id, e.t)
+	delete(sh.entries, id)
+	sh.indexRemove(id, e.t)
 	w.deleted = append(w.deleted, Instance{ID: id, Tuple: e.t, Owner: e.owner})
+	w.delShard = append(w.delShard, si)
 	return nil
 }
 
-// rollback undoes the writer's mutations (fn returned an error).
+// rollback undoes the writer's mutations (fn returned an error), restoring
+// every touched shard's entries and indexes.
 func (w *writer) rollback() {
-	s := w.s
-	for _, ins := range w.inserted {
-		if _, ok := s.entries[ins.ID]; ok {
-			delete(s.entries, ins.ID)
-			s.indexRemove(ins.ID, ins.Tuple)
+	for i, ins := range w.inserted {
+		sh := w.s.shards[w.insShard[i]]
+		if _, ok := sh.entries[ins.ID]; ok {
+			delete(sh.entries, ins.ID)
+			sh.indexRemove(ins.ID, ins.Tuple)
 		}
 	}
-	for _, del := range w.deleted {
-		s.entries[del.ID] = entry{t: del.Tuple, owner: del.Owner}
-		s.indexAdd(del.ID, del.Tuple)
+	for i, del := range w.deleted {
+		sh := w.s.shards[w.delShard[i]]
+		sh.entries[del.ID] = entry{t: del.Tuple, owner: del.Owner}
+		sh.indexAdd(del.ID, del.Tuple)
 	}
 }
 
-func (s *Store) indexAdd(id tuple.ID, t tuple.Tuple) {
+func (sh *shard) indexAdd(id tuple.ID, t tuple.Tuple) {
 	a := t.Arity()
-	byA := s.byArity[a]
+	byA := sh.byArity[a]
 	if byA == nil {
 		byA = make(map[tuple.ID]struct{})
-		s.byArity[a] = byA
+		sh.byArity[a] = byA
 	}
 	byA[id] = struct{}{}
 	if a > 0 {
 		k := indexKey{arity: a, lead: canonLead(t.Field(0))}
-		byL := s.byLead[k]
+		byL := sh.byLead[k]
 		if byL == nil {
 			byL = make(map[tuple.ID]struct{})
-			s.byLead[k] = byL
+			sh.byLead[k] = byL
 		}
 		byL[id] = struct{}{}
 	}
 }
 
-func (s *Store) indexRemove(id tuple.ID, t tuple.Tuple) {
+func (sh *shard) indexRemove(id tuple.ID, t tuple.Tuple) {
 	a := t.Arity()
-	if byA := s.byArity[a]; byA != nil {
+	if byA := sh.byArity[a]; byA != nil {
 		delete(byA, id)
 		if len(byA) == 0 {
-			delete(s.byArity, a)
+			delete(sh.byArity, a)
 		}
 	}
 	if a > 0 {
 		k := indexKey{arity: a, lead: canonLead(t.Field(0))}
-		if byL := s.byLead[k]; byL != nil {
+		if byL := sh.byLead[k]; byL != nil {
 			delete(byL, id)
 			if len(byL) == 0 {
-				delete(s.byLead, k)
+				delete(sh.byLead, k)
 			}
 		}
 	}

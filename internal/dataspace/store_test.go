@@ -339,6 +339,7 @@ func BenchmarkScanIndexed(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		s.Assert(tuple.Environment, tuple.New(tuple.Atom(fmt.Sprintf("k%d", i%100)), tuple.Int(int64(i))))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0

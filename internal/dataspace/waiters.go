@@ -10,6 +10,10 @@ import (
 // match: an arity plus, when known, the required leading-field value. A key
 // with LeadKnown=false subscribes to every change among tuples of that
 // arity.
+//
+// The transaction engine also uses interest keys to plan a transaction's
+// shard footprint (SnapshotKeys/UpdateKeys): a key addresses exactly the
+// index bucket its tuples — and therefore its shard — live in.
 type InterestKey struct {
 	Arity     int
 	Lead      tuple.Value
@@ -17,7 +21,8 @@ type InterestKey struct {
 }
 
 // waiter is one registered wakeup target. Its channel is closed at most
-// once, by the first relevant commit.
+// once, by the first relevant commit; fire is idempotent, so a multi-shard
+// commit waking the same waiter through several registries is harmless.
 type waiter struct {
 	ch   chan struct{}
 	once sync.Once
@@ -25,22 +30,104 @@ type waiter struct {
 
 func (w *waiter) fire() { w.once.Do(func() { close(w.ch) }) }
 
-// waiterRegistry indexes waiters by interest key. The zero value is ready
-// to use.
+// waiterRegistry indexes one shard's waiters by interest key. The zero
+// value is ready to use. Its mutex is independent of the shard lock:
+// Wait/cancel never block behind a running transaction.
 type waiterRegistry struct {
 	mu      sync.Mutex
 	byKey   map[indexKey]map[*waiter]struct{}
 	byArity map[int]map[*waiter]struct{}
-	broad   bool
+}
+
+func (r *waiterRegistry) addKey(ik indexKey, w *waiter) {
+	r.mu.Lock()
+	if r.byKey == nil {
+		r.byKey = make(map[indexKey]map[*waiter]struct{})
+	}
+	set := r.byKey[ik]
+	if set == nil {
+		set = make(map[*waiter]struct{})
+		r.byKey[ik] = set
+	}
+	set[w] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) addArity(a int, w *waiter) {
+	r.mu.Lock()
+	if r.byArity == nil {
+		r.byArity = make(map[int]map[*waiter]struct{})
+	}
+	set := r.byArity[a]
+	if set == nil {
+		set = make(map[*waiter]struct{})
+		r.byArity[a] = set
+	}
+	set[w] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) removeKey(ik indexKey, w *waiter) {
+	r.mu.Lock()
+	if set := r.byKey[ik]; set != nil {
+		delete(set, w)
+		if len(set) == 0 {
+			delete(r.byKey, ik)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) removeArity(a int, w *waiter) {
+	r.mu.Lock()
+	if set := r.byArity[a]; set != nil {
+		delete(set, w)
+		if len(set) == 0 {
+			delete(r.byArity, a)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// collect appends the waiters whose interest covers inst.
+func (r *waiterRegistry) collect(inst Instance, fired []*waiter) []*waiter {
+	r.mu.Lock()
+	a := inst.Tuple.Arity()
+	for w := range r.byArity[a] {
+		fired = append(fired, w)
+	}
+	if a > 0 {
+		ik := indexKey{arity: a, lead: canonLead(inst.Tuple.Field(0))}
+		for w := range r.byKey[ik] {
+			fired = append(fired, w)
+		}
+	}
+	r.mu.Unlock()
+	return fired
+}
+
+// collectAll appends every registered waiter (broad-wakeup ablation).
+func (r *waiterRegistry) collectAll(fired []*waiter) []*waiter {
+	r.mu.Lock()
+	for _, set := range r.byKey {
+		for w := range set {
+			fired = append(fired, w)
+		}
+	}
+	for _, set := range r.byArity {
+		for w := range set {
+			fired = append(fired, w)
+		}
+	}
+	r.mu.Unlock()
+	return fired
 }
 
 // SetBroadWakeups disables interest-keyed wakeups: every commit wakes
 // every waiter, as a naive implementation would. This exists solely for
 // the E10 ablation benchmark; call it before the store is shared.
 func (s *Store) SetBroadWakeups(broad bool) {
-	s.waiters.mu.Lock()
-	s.waiters.broad = broad
-	s.waiters.mu.Unlock()
+	s.broadWake.Store(broad)
 }
 
 // Wait registers interest in the given keys and returns a channel that is
@@ -48,111 +135,77 @@ func (s *Store) SetBroadWakeups(broad bool) {
 // that must be called to release the registration (idempotent, safe after
 // the wakeup fired).
 //
+// Registrations are sharded like the tuples themselves: a lead-known key
+// registers only in the shard owning its bucket, so commits on other
+// shards never even inspect it. A lead-unknown key of arity > 0 registers
+// in every shard (its tuples may appear anywhere); arity-0 keys register
+// in the fixed zero-lead shard.
+//
 // To avoid lost wakeups, callers must register BEFORE evaluating the query
 // that may block: any commit after registration fires the channel, so a
 // change racing with the evaluation is never missed.
 func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
 	w := &waiter{ch: make(chan struct{})}
-	r := &s.waiters
-	r.mu.Lock()
-	if r.byKey == nil {
-		r.byKey = make(map[indexKey]map[*waiter]struct{})
-		r.byArity = make(map[int]map[*waiter]struct{})
+	type keyReg struct {
+		si uint32
+		ik indexKey
 	}
-	var regKeys []indexKey
-	var regArities []int
+	type arityReg struct {
+		si uint32
+		a  int
+	}
+	var regKeys []keyReg
+	var regArities []arityReg
 	for _, k := range keys {
-		if k.LeadKnown {
+		switch {
+		case k.Arity == 0:
+			si := s.shardIndex(indexKey{})
+			s.shards[si].waiters.addArity(0, w)
+			regArities = append(regArities, arityReg{si: si, a: 0})
+		case k.LeadKnown:
 			ik := indexKey{arity: k.Arity, lead: canonLead(k.Lead)}
-			set := r.byKey[ik]
-			if set == nil {
-				set = make(map[*waiter]struct{})
-				r.byKey[ik] = set
+			si := s.shardIndex(ik)
+			s.shards[si].waiters.addKey(ik, w)
+			regKeys = append(regKeys, keyReg{si: si, ik: ik})
+		default:
+			for si := range s.shards {
+				s.shards[si].waiters.addArity(k.Arity, w)
+				regArities = append(regArities, arityReg{si: uint32(si), a: k.Arity})
 			}
-			set[w] = struct{}{}
-			regKeys = append(regKeys, ik)
-		} else {
-			set := r.byArity[k.Arity]
-			if set == nil {
-				set = make(map[*waiter]struct{})
-				r.byArity[k.Arity] = set
-			}
-			set[w] = struct{}{}
-			regArities = append(regArities, k.Arity)
 		}
 	}
-	r.mu.Unlock()
 
 	cancel := func() {
-		r.mu.Lock()
-		for _, ik := range regKeys {
-			if set := r.byKey[ik]; set != nil {
-				delete(set, w)
-				if len(set) == 0 {
-					delete(r.byKey, ik)
-				}
-			}
+		for _, reg := range regKeys {
+			s.shards[reg.si].waiters.removeKey(reg.ik, w)
 		}
-		for _, a := range regArities {
-			if set := r.byArity[a]; set != nil {
-				delete(set, w)
-				if len(set) == 0 {
-					delete(r.byArity, a)
-				}
-			}
+		for _, reg := range regArities {
+			s.shards[reg.si].waiters.removeArity(reg.a, w)
 		}
-		r.mu.Unlock()
 	}
 	return w.ch, cancel
 }
 
-// notify wakes every waiter whose interest intersects the commit record
-// (or every waiter, in the ablation's broad mode).
-func (r *waiterRegistry) notify(rec CommitRecord) {
-	r.mu.Lock()
+// notify wakes every waiter whose interest intersects the commit (or every
+// waiter, in the ablation's broad mode). Each written instance is matched
+// against the registry of the shard it lives in — commits never touch the
+// registries of shards outside their footprint.
+func (s *Store) notify(rec CommitRecord, w *writer) {
 	var fired []*waiter
-	if r.broad {
-		for _, set := range r.byKey {
-			for w := range set {
-				fired = append(fired, w)
-			}
+	if s.broadWake.Load() {
+		for _, sh := range s.shards {
+			fired = sh.waiters.collectAll(fired)
 		}
-		for _, set := range r.byArity {
-			for w := range set {
-				fired = append(fired, w)
-			}
+	} else {
+		for i, inst := range rec.Inserted {
+			fired = s.shards[w.insShard[i]].waiters.collect(inst, fired)
 		}
-		r.mu.Unlock()
-		for _, w := range fired {
-			w.fire()
-		}
-		return
-	}
-	collect := func(inst Instance) {
-		a := inst.Tuple.Arity()
-		if set := r.byArity[a]; set != nil {
-			for w := range set {
-				fired = append(fired, w)
-			}
-		}
-		if a > 0 {
-			ik := indexKey{arity: a, lead: canonLead(inst.Tuple.Field(0))}
-			if set := r.byKey[ik]; set != nil {
-				for w := range set {
-					fired = append(fired, w)
-				}
-			}
+		for i, inst := range rec.Deleted {
+			fired = s.shards[w.delShard[i]].waiters.collect(inst, fired)
 		}
 	}
-	for _, inst := range rec.Inserted {
-		collect(inst)
-	}
-	for _, inst := range rec.Deleted {
-		collect(inst)
-	}
-	r.mu.Unlock()
-	for _, w := range fired {
-		w.fire()
+	for _, wt := range fired {
+		wt.fire()
 	}
 }
 

@@ -86,11 +86,13 @@ func TestCancelRemovesRegistration(t *testing.T) {
 	s.Assert(tuple.Environment, year(1))
 	assertNotFired(t, ch)
 
-	r := &s.waiters
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.byKey) != 0 || len(r.byArity) != 0 {
-		t.Errorf("registry not empty after cancel: %d/%d", len(r.byKey), len(r.byArity))
+	for i, sh := range s.shards {
+		r := &sh.waiters
+		r.mu.Lock()
+		if len(r.byKey) != 0 || len(r.byArity) != 0 {
+			t.Errorf("shard %d registry not empty after cancel: %d/%d", i, len(r.byKey), len(r.byArity))
+		}
+		r.mu.Unlock()
 	}
 }
 

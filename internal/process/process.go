@@ -127,52 +127,88 @@ func (rt *Runtime) Define(def *Definition) error {
 // Spawn creates a process instance of the named definition with the given
 // argument values and starts it. It returns the new process's ID.
 func (rt *Runtime) Spawn(name string, args ...tuple.Value) (tuple.ProcessID, error) {
-	if rt.closed.Load() {
-		return 0, ErrRuntimeClosed
+	pids, err := rt.SpawnGroup([]SpawnReq{{Type: name, Args: args}})
+	if err != nil {
+		return 0, err
 	}
-	rt.defsMu.RLock()
-	def := rt.defs[name]
-	rt.defsMu.RUnlock()
-	if def == nil {
-		return 0, fmt.Errorf("%w: %q", ErrUnknownDefinition, name)
-	}
-	if len(args) != len(def.Params) {
-		return 0, fmt.Errorf("%w: %s takes %d, got %d",
-			ErrArity, name, len(def.Params), len(args))
-	}
-	env := make(expr.Env, len(args))
-	for i, p := range def.Params {
-		env[p] = args[i]
-	}
-	pid := tuple.ProcessID(rt.nextPID.Add(1))
-	v := view.Universal()
-	if def.View != nil {
-		v = def.View(env)
-	}
+	return pids[0], nil
+}
 
-	rt.cons.Register(pid, v, env)
-	rt.running.Add(1)
-	rt.spawned.Add(1)
-	rt.wg.Add(1)
-	p := &proc{rt: rt, pid: pid, def: def, view: v, env: env}
-	p.state.Store(int32(StateRunning))
-	rt.liveMu.Lock()
-	rt.live[pid] = p
-	rt.liveMu.Unlock()
-	go func() {
-		defer rt.wg.Done()
-		defer rt.running.Add(-1)
-		defer rt.cons.Unregister(pid)
-		defer func() {
-			rt.liveMu.Lock()
-			delete(rt.live, pid)
-			rt.liveMu.Unlock()
-		}()
-		if err := p.runSeq(rt.ctx, def.Body); err != nil && !isControl(err) {
-			rt.recordError(fmt.Errorf("process %s[%d]: %w", def.Name, pid, err))
+// SpawnReq describes one process instance for SpawnGroup.
+type SpawnReq struct {
+	Type string
+	Args []tuple.Value
+}
+
+// SpawnGroup creates several process instances atomically with respect to
+// consensus detection: every instance is registered with the consensus
+// manager before any of them starts running. Programs whose termination is
+// detected by a consensus transaction over the whole community (the
+// paper's §3.2 Sort) need this — spawning the members one by one would let
+// an early, already-satisfied prefix of the community reach consensus and
+// exit before the rest of the community exists to block it.
+//
+// Either every request spawns or none does: validation errors (unknown
+// definition, wrong arity) are returned before any registration.
+func (rt *Runtime) SpawnGroup(reqs []SpawnReq) ([]tuple.ProcessID, error) {
+	if rt.closed.Load() {
+		return nil, ErrRuntimeClosed
+	}
+	procs := make([]*proc, len(reqs))
+	rt.defsMu.RLock()
+	for i, req := range reqs {
+		def := rt.defs[req.Type]
+		if def == nil {
+			rt.defsMu.RUnlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownDefinition, req.Type)
 		}
-	}()
-	return pid, nil
+		if len(req.Args) != len(def.Params) {
+			rt.defsMu.RUnlock()
+			return nil, fmt.Errorf("%w: %s takes %d, got %d",
+				ErrArity, req.Type, len(def.Params), len(req.Args))
+		}
+		env := make(expr.Env, len(req.Args))
+		for j, p := range def.Params {
+			env[p] = req.Args[j]
+		}
+		v := view.Universal()
+		if def.View != nil {
+			v = def.View(env)
+		}
+		pid := tuple.ProcessID(rt.nextPID.Add(1))
+		procs[i] = &proc{rt: rt, pid: pid, def: def, view: v, env: env}
+	}
+	rt.defsMu.RUnlock()
+
+	// Register the whole group before starting any member.
+	pids := make([]tuple.ProcessID, len(procs))
+	for i, p := range procs {
+		pids[i] = p.pid
+		rt.cons.Register(p.pid, p.view, p.env)
+	}
+	for _, p := range procs {
+		rt.running.Add(1)
+		rt.spawned.Add(1)
+		rt.wg.Add(1)
+		p.state.Store(int32(StateRunning))
+		rt.liveMu.Lock()
+		rt.live[p.pid] = p
+		rt.liveMu.Unlock()
+		go func(p *proc) {
+			defer rt.wg.Done()
+			defer rt.running.Add(-1)
+			defer rt.cons.Unregister(p.pid)
+			defer func() {
+				rt.liveMu.Lock()
+				delete(rt.live, p.pid)
+				rt.liveMu.Unlock()
+			}()
+			if err := p.runSeq(rt.ctx, p.def.Body); err != nil && !isControl(err) {
+				rt.recordError(fmt.Errorf("process %s[%d]: %w", p.def.Name, p.pid, err))
+			}
+		}(p)
+	}
+	return pids, nil
 }
 
 // ProcessInfo describes one live process for introspection.

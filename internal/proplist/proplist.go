@@ -149,11 +149,18 @@ func RunSort(ctx context.Context, rt *process.Runtime, nodes []workload.Property
 	if err := rt.Define(SortDef()); err != nil {
 		return err
 	}
+	// Spawn the whole community as a group: the termination consensus is
+	// over every adjacent pair, so no member may start (and possibly reach
+	// a partial consensus) before all members are registered.
+	reqs := make([]process.SpawnReq, 0, len(nodes)-1)
 	for i := 0; i+1 < len(nodes); i++ {
-		_, err := rt.Spawn("Sort", tuple.Int(nodes[i].ID), tuple.Int(nodes[i+1].ID))
-		if err != nil {
-			return err
-		}
+		reqs = append(reqs, process.SpawnReq{
+			Type: "Sort",
+			Args: []tuple.Value{tuple.Int(nodes[i].ID), tuple.Int(nodes[i+1].ID)},
+		})
+	}
+	if _, err := rt.SpawnGroup(reqs); err != nil {
+		return err
 	}
 	if err := rt.WaitCtx(ctx); err != nil {
 		return err

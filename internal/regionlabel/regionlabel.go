@@ -357,9 +357,14 @@ func RunCommunity(ctx context.Context, rt *process.Runtime, im *workload.Image, 
 		}
 	})
 
-	// Threshold pass (the paper's Threshold process): threshold each pixel
-	// and create its Label process.
+	// Threshold pass (the paper's Threshold process): threshold each pixel,
+	// then create the Label community as a group. A region's completion is a
+	// consensus over every Label process in the region, so all members must
+	// be registered before any starts — spawning per pixel would let an
+	// early part of a region reach consensus before its last pixel's
+	// process exists.
 	engine := rt.Engine()
+	reqs := make([]process.SpawnReq, 0, im.W*im.H)
 	for p := int64(0); p < int64(im.W*im.H); p++ {
 		class := workload.Threshold(im.Pix[p], cut)
 		res, err := engine.Immediate(txn.Request{
@@ -376,9 +381,13 @@ func RunCommunity(ctx context.Context, rt *process.Runtime, im *workload.Image, 
 		if !res.OK {
 			return Result{}, fmt.Errorf("regionlabel: pixel %d has no image tuple", p)
 		}
-		if _, err := rt.Spawn("Label", tuple.Int(p), tuple.Int(class)); err != nil {
-			return Result{}, err
-		}
+		reqs = append(reqs, process.SpawnReq{
+			Type: "Label",
+			Args: []tuple.Value{tuple.Int(p), tuple.Int(class)},
+		})
+	}
+	if _, err := rt.SpawnGroup(reqs); err != nil {
+		return Result{}, err
 	}
 
 	if err := rt.WaitCtx(ctx); err != nil {

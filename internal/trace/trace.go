@@ -169,13 +169,19 @@ func (r *Recorder) ByActor() []OwnerActivity {
 // ReplayAt reconstructs the multiset of tuple instances present after the
 // given version committed (version 0 = empty initial dataspace). Only
 // meaningful when the recorder observed the store from its creation.
+//
+// Commits on disjoint shard sets run concurrently, so the log's append
+// order is not globally version-sorted — events are filtered by version,
+// not cut at the first larger one. The reconstruction is still exact:
+// events for any one tuple instance (and any one shard) are version-ordered
+// because hooks run under the commit's shard write locks.
 func (r *Recorder) ReplayAt(version uint64) map[tuple.ID]tuple.Tuple {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	state := make(map[tuple.ID]tuple.Tuple)
 	for _, e := range r.events {
 		if e.Version > version {
-			break
+			continue
 		}
 		switch e.Kind {
 		case Assert:

@@ -176,10 +176,66 @@ func (e *Engine) Immediate(req Request) (Result, error) {
 	}
 }
 
+// footprintKeys statically plans the set of index buckets req can scan,
+// retract from, or assert into. When the plan is exact (ok=true), the
+// store needs to lock only the shards owning those buckets
+// (UpdateKeys/SnapshotKeys) — transactions with disjoint footprints then
+// commit in parallel.
+//
+// The plan is sound because pattern matching never rebinds a variable
+// already bound in req.Env (MatchInto treats bound variables as equality
+// tests), so a lead determined under req.Env keeps that value under every
+// solution environment: every bucket the join, the negation checks, or the
+// assertion grounding can touch is in the plan. The plan is abandoned
+// (ok=false) when any lead of arity > 0 is undetermined under req.Env, or
+// when the view is non-universal — a restricted import may consult
+// arbitrary buckets (dynamic matchers, view-pattern restrictions), so
+// those transactions take the full-store lock.
+func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
+	if !req.View.Import.All || !req.View.Export.All {
+		return nil, false
+	}
+	keys := make([]dataspace.InterestKey, 0, len(req.Query.Patterns)+len(req.Asserts))
+	add := func(p pattern.Pattern) bool {
+		a := p.Arity()
+		if a == 0 {
+			keys = append(keys, dataspace.InterestKey{Arity: 0})
+			return true
+		}
+		lead, known := p.Lead(req.Env)
+		if !known {
+			return false
+		}
+		keys = append(keys, dataspace.InterestKey{Arity: a, Lead: lead, LeadKnown: true})
+		return true
+	}
+	for _, p := range req.Query.Patterns {
+		if !add(p) {
+			return nil, false
+		}
+	}
+	for _, ap := range req.Asserts {
+		if !add(ap) {
+			return nil, false
+		}
+	}
+	return keys, true
+}
+
+// update runs fn under the narrowest sound lock: the shards covering keys
+// when the footprint plan is exact, the whole store otherwise.
+func (e *Engine) update(req Request, keys []dataspace.InterestKey, planned bool, fn func(w dataspace.Writer) error) error {
+	if planned {
+		return e.store.UpdateKeys(req.Proc, keys, fn)
+	}
+	return e.store.Update(req.Proc, fn)
+}
+
 func (e *Engine) immediateCoarse(req Request) (Result, error) {
 	var res Result
 	e.attempts.Add(1)
-	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+	keys, planned := footprintKeys(req)
+	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
 		r, err := e.evalAndApply(w, req)
 		if err != nil {
 			return err
@@ -211,6 +267,12 @@ func (e *Engine) immediateCoarse(req Request) (Result, error) {
 //     re-evaluating the query.
 //   - A concurrent commit intervened: re-evaluate under the lock
 //     (degenerating to coarse for this attempt) and count a conflict.
+//
+// Validation compares the store's global version, which any shard's commit
+// bumps. Under a sharded store this is conservative: a commit on shards
+// disjoint from the footprint triggers a spurious re-evaluation (never an
+// incorrect commit) — the retry runs under the footprint's shard locks and
+// observes exactly the configuration it validates against.
 func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 	var (
 		snapVersion uint64
@@ -218,7 +280,12 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 		evalErr     error
 	)
 	e.attempts.Add(1)
-	e.store.Snapshot(func(r dataspace.Reader) {
+	keys, planned := footprintKeys(req)
+	snapshot := e.store.Snapshot
+	if planned {
+		snapshot = func(fn func(r dataspace.Reader)) { e.store.SnapshotKeys(keys, fn) }
+	}
+	snapshot(func(r dataspace.Reader) {
 		snapVersion = r.Version()
 		win := req.View.Window(r, req.Env)
 		switch req.Query.Quant {
@@ -245,7 +312,7 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 			return Result{Env: req.Env}, nil
 		}
 		e.conflicts.Add(1)
-		return e.lockedRetry(req)
+		return e.lockedRetry(req, keys, planned)
 	}
 
 	if len(req.Asserts) == 0 && !anyRetracts(sols) {
@@ -262,7 +329,7 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 	}
 
 	var res Result
-	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
 		if w.Version() != snapVersion {
 			// Conflict: the snapshot's solutions may be stale; re-evaluate
 			// in place.
@@ -295,12 +362,13 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 	}
 }
 
-// lockedRetry re-evaluates a transaction under the write lock after a
-// snapshot-phase miss raced with a commit.
-func (e *Engine) lockedRetry(req Request) (Result, error) {
+// lockedRetry re-evaluates a transaction under the write lock (of its
+// planned shard set, when exact) after a snapshot-phase miss raced with a
+// commit.
+func (e *Engine) lockedRetry(req Request, keys []dataspace.InterestKey, planned bool) (Result, error) {
 	var res Result
 	e.attempts.Add(1)
-	err := e.store.Update(req.Proc, func(w dataspace.Writer) error {
+	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
 		r, err := e.evalAndApply(w, req)
 		if err != nil {
 			return err

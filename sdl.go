@@ -87,6 +87,15 @@ type (
 // NewStore returns an empty dataspace.
 var NewStore = dataspace.New
 
+// StoreOption configures NewStore.
+type StoreOption = dataspace.Option
+
+// WithShards sets the store's shard count: rounded up to a power of two
+// and clamped to [1, 256]; zero or negative selects a GOMAXPROCS-based
+// default. Transactions whose patterns name their lead field lock only
+// the shards they touch, so disjoint transactions commit in parallel.
+var WithShards = dataspace.WithShards
+
 // Expressions (test queries, computed fields, action arguments).
 type (
 	// Expr is a side-effect-free expression over variable bindings.

@@ -12,6 +12,9 @@ type Options struct {
 	// Trace attaches a Recorder when positive (event cap) or when -1
 	// (unbounded).
 	Trace int
+	// Shards sets the dataspace shard count (see WithShards); 0 selects
+	// the GOMAXPROCS-based default.
+	Shards int
 }
 
 // System bundles a complete SDL runtime: store, engine, consensus manager,
@@ -27,7 +30,7 @@ type System struct {
 
 // New assembles a System.
 func New(opts Options) *System {
-	store := NewStore()
+	store := NewStore(WithShards(opts.Shards))
 	var rec *Recorder
 	switch {
 	case opts.Trace > 0:

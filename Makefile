@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench sweep clean
+.PHONY: all build vet test race audit check bench sweep fuzz-smoke clean
 
 all: check
 
@@ -16,8 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The serializability-audit suite and metrics invariants, race-enabled.
+audit:
+	$(GO) test -race ./internal/metrics ./internal/refmodel ./internal/trace
+	$(GO) test -race -run 'Metrics|WaiterDepth' .
+
 # The verification gate: everything a commit must pass.
-check: vet build race
+check: vet build race audit
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -25,6 +30,12 @@ bench:
 # Regenerate bench_sweep.txt (full parameter sweeps; takes minutes).
 sweep:
 	$(GO) run ./cmd/sdlbench | tee bench_sweep.txt
+
+# Run each fuzz target briefly — a smoke pass, not a campaign.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/lang
+	$(GO) test -fuzz=FuzzLex -fuzztime=10s -run '^$$' ./internal/lang
+	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./internal/pattern
 
 clean:
 	$(GO) clean ./...

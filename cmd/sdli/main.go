@@ -15,7 +15,9 @@
 //	                          on timeout, prints each live process's state
 //	-dump                     print the final dataspace contents
 //	-trace                    print the dataspace event log after the run
-//	-stats                    print engine/runtime statistics
+//	-stats                    print engine/runtime statistics and metrics
+//	-metrics-addr host:port   serve the metrics snapshot over HTTP while
+//	                          running (expvar, /debug/vars)
 //	-watch duration           live snapshot sampling while running
 //	-svg file                 write a tuple-lifetime timeline SVG
 //	-checkpoint file          write the final dataspace to a checkpoint
@@ -26,19 +28,58 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/process"
 	"github.com/sdl-lang/sdl/internal/trace"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/vis"
 )
+
+// currentMetrics is the registry of the store the running program uses.
+// expvar variables are process-global and can be published only once, so
+// the published Func indirects through this pointer (tests call run
+// repeatedly in one process).
+var (
+	currentMetrics atomic.Pointer[metrics.Registry]
+	publishOnce    sync.Once
+)
+
+// serveMetrics publishes the registry under the expvar name "sdl" and
+// serves the standard /debug/vars endpoint on addr. It returns the bound
+// address (addr may use port 0) and a shutdown function.
+func serveMetrics(addr string, reg *metrics.Registry) (string, func(), error) {
+	currentMetrics.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("sdl", expvar.Func(func() any {
+			if r := currentMetrics.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -53,9 +94,10 @@ func run(args []string) error {
 		modeName  = fs.String("mode", "coarse", "concurrency control: coarse or optimistic")
 		shards    = fs.Int("shards", 0, "dataspace shard count, rounded up to a power of two (0 = GOMAXPROCS default)")
 		timeout   = fs.Duration("timeout", time.Minute, "abort the run after this long")
-		dump      = fs.Bool("dump", false, "print the final dataspace contents")
-		showTrace = fs.Bool("trace", false, "print the dataspace event log")
-		showStats = fs.Bool("stats", false, "print engine/runtime statistics")
+		dump        = fs.Bool("dump", false, "print the final dataspace contents")
+		showTrace   = fs.Bool("trace", false, "print the dataspace event log")
+		showStats   = fs.Bool("stats", false, "print engine/runtime statistics and metrics")
+		metricsAddr = fs.String("metrics-addr", "", "serve the metrics snapshot over HTTP on this address (expvar, /debug/vars)")
 		format    = fs.Bool("fmt", false, "format the program to stdout instead of running it")
 		watch     = fs.Duration("watch", 0, "print dataspace size/version on this cadence while running")
 		svgPath   = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
@@ -122,6 +164,20 @@ func run(args []string) error {
 		rt.Shutdown()
 		rt.Consensus().Close()
 	}()
+
+	if *metricsAddr != "" || *showStats {
+		// An observer is attached: enable the gated instruments (latency,
+		// footprint, fan-out histograms).
+		store.Metrics().SetObserved(true)
+	}
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := serveMetrics(*metricsAddr, store.Metrics())
+		if err != nil {
+			return err
+		}
+		defer stopMetrics()
+		fmt.Printf("metrics: http://%s/debug/vars\n", bound)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -198,6 +254,34 @@ func run(args []string) error {
 		fmt.Printf("  dataspace     %d asserts, %d retracts, %d left, version %d\n",
 			ss.Asserts, ss.Retracts, store.Len(), store.Version())
 		fmt.Printf("  consensus     %d fires\n", rt.Consensus().Fires())
+		printMetrics(store.Metrics().Snapshot())
 	}
 	return nil
+}
+
+// printMetrics renders the metrics snapshot under the -stats dump.
+func printMetrics(snap metrics.Snapshot) {
+	fmt.Println("-- metrics --")
+	reads, writes := snap.ShardLockTotals()
+	fmt.Printf("  shards        %d shards, %d read locks, %d write locks, %d store commits\n",
+		len(snap.Shards), reads, writes, snap.StoreCommits)
+	for _, kind := range []string{"immediate", "delayed", "consensus"} {
+		c := snap.Txn[kind]
+		if c.Attempts == 0 && c.Blocks == 0 {
+			continue
+		}
+		lat := snap.TxnLatency[kind]
+		fmt.Printf("  txn %-9s %d attempts, %d commits, %d retries, %d blocks, mean %.1fµs\n",
+			kind, c.Attempts, c.Commits, c.Retries, c.Blocks, lat.Mean()/1e3)
+	}
+	fmt.Printf("  footprint     mean %.2f shards/update\n", snap.Footprint.Mean())
+	fmt.Printf("  wakeups       mean fan-out %.2f, waiter depth %d\n",
+		snap.WakeupFanout.Mean(), snap.WaiterDepth)
+	fmt.Printf("  consensus     %d detection rounds, mean community %.1f\n",
+		snap.ConsensusRounds, snap.ConsensusCommunity.Mean())
+	if snap.CheckpointWrite.Count > 0 || snap.CheckpointRead.Count > 0 {
+		fmt.Printf("  checkpoints   %d writes (mean %.1fms), %d reads (mean %.1fms)\n",
+			snap.CheckpointWrite.Count, snap.CheckpointWrite.Mean()/1e6,
+			snap.CheckpointRead.Count, snap.CheckpointRead.Mean()/1e6)
+	}
 }

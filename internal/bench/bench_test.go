@@ -151,9 +151,15 @@ func TestE12Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Three shard counts × two workloads.
-	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Metrics) != 6 {
+	// Three shard counts × (RMW throughput + lock count) + three Sum3 times.
+	if len(tbl.Rows) != 1 || len(tbl.Rows[0].Metrics) != 9 {
 		t.Errorf("rows = %+v", tbl.Rows)
+	}
+	// The keyed RMW workload must lock ~one shard per op at every count.
+	for _, m := range tbl.Rows[0].Metrics {
+		if strings.HasPrefix(m.Name, "wlocks") && (m.Value < 1 || m.Value > 1.5) {
+			t.Errorf("%s = %v locks/op, want ~1", m.Name, m.Value)
+		}
 	}
 }
 

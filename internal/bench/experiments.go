@@ -12,6 +12,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/linda"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/process"
 	"github.com/sdl-lang/sdl/internal/proplist"
@@ -318,9 +319,14 @@ func E6ConsensusScale(ctx context.Context, sizes []int) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E6 p=%d: %w", p, err)
 		}
+		snap := s.Metrics().Snapshot()
 		t.Rows = append(t.Rows, Row{
-			Config:  fmt.Sprintf("P=%d", p),
-			Metrics: []Metric{Ms("barrier", d)},
+			Config: fmt.Sprintf("P=%d", p),
+			Metrics: []Metric{
+				Ms("barrier", d),
+				Count("detect rounds", float64(snap.ConsensusRounds), "rounds"),
+				Count("community", snap.ConsensusCommunity.Mean(), "procs"),
+			},
 		})
 	}
 	return t, nil
@@ -638,6 +644,10 @@ func E10WakeupIndex(ctx context.Context, waiterCounts []int) (*Table, error) {
 		for _, broad := range []bool{false, true} {
 			s := dataspace.New()
 			s.SetBroadWakeups(broad)
+			// Both variants observed, so the gated fan-out histogram records
+			// and the timing handicap (one clock-free histogram update per
+			// commit) is identical on each side of the ablation.
+			s.Metrics().SetObserved(true)
 			e := txn.New(s, txn.Coarse)
 			var wg sync.WaitGroup
 			errCh := make(chan error, p)
@@ -687,6 +697,7 @@ func E10WakeupIndex(ctx context.Context, waiterCounts []int) (*Table, error) {
 			row.Metrics = append(row.Metrics,
 				Ms(name, d),
 				Count(name+" wakeups", float64(st.Wakeups), "wakeups"),
+				Count(name+" fan-out", s.Metrics().Snapshot().WakeupFanout.Mean(), "waiters"),
 			)
 		}
 		t.Rows = append(t.Rows, row)
@@ -871,11 +882,20 @@ func E12ShardScaling(ctx context.Context, sizes []int) (*Table, error) {
 				return nil, fmt.Errorf("E12 rmw shards=%d n=%d: %w", sc, n, err)
 			}
 			total := float64(workers * opsPerWorker)
-			row.Metrics = append(row.Metrics, Metric{
-				Name:  fmt.Sprintf("RMW s=%d", sc),
-				Value: total / d.Seconds() / 1000,
-				Unit:  "kops/s",
-			})
+			// Always-on shard counters (the gated histograms stay off so the
+			// timing matches unobserved production runs).
+			_, writeLocks := s.Metrics().Snapshot().ShardLockTotals()
+			row.Metrics = append(row.Metrics,
+				Metric{
+					Name:  fmt.Sprintf("RMW s=%d", sc),
+					Value: total / d.Seconds() / 1000,
+					Unit:  "kops/s",
+				},
+				Metric{
+					Name:  fmt.Sprintf("wlocks s=%d", sc),
+					Value: float64(writeLocks) / total,
+					Unit:  "locks/op",
+				})
 		}
 		for _, sc := range shardCounts {
 			rt := process.NewRuntime(
@@ -957,8 +977,11 @@ func E9ConcurrencyControl(_ context.Context, workerCounts []int) (*Table, error)
 				return nil, fmt.Errorf("E9 %v w=%d: %w", mode, workers, err)
 			}
 			total := float64(workers * opsPerWorker)
-			row.Metrics = append(row.Metrics, Metric{
-				Name: mode.String(), Value: total / d.Seconds() / 1000, Unit: "kops/s"})
+			snap := s.Metrics().Snapshot()
+			row.Metrics = append(row.Metrics,
+				Metric{Name: mode.String(), Value: total / d.Seconds() / 1000, Unit: "kops/s"},
+				Count(mode.String()+" retries",
+					float64(snap.Txn[metrics.TxnImmediate.String()].Retries), "retries"))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -27,9 +27,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
@@ -273,6 +275,7 @@ func (m *Manager) StartOfferAlts(reqs []txn.Request) (*Offer, error) {
 	}
 	m.offers[pid] = o
 	m.mu.Unlock()
+	m.engine.Metrics().IncTxnBlock(metrics.TxnConsensus)
 	m.signal()
 	return o, nil
 }
@@ -342,6 +345,7 @@ func (m *Manager) detector() {
 // per-commit detection cost proportional to the offers, not the society.
 func (m *Manager) evaluateOnce() bool {
 	m.attempts.Add(1)
+	m.engine.Metrics().IncConsensusRound()
 
 	m.mu.Lock()
 	if m.closed || len(m.offers) == 0 {
@@ -574,6 +578,18 @@ func (h hidingSource) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(
 // footprint — applies all retractions then all assertions as one commit,
 // and resolves the offers. On any failure the claims revert.
 func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Offer) bool {
+	reg := m.engine.Metrics()
+	reg.IncTxnAttempt(metrics.TxnConsensus)
+	observed := reg.Observed()
+	var start time.Time
+	if observed {
+		start = time.Now()
+	}
+	defer func() {
+		if observed {
+			reg.ObserveTxnLatency(metrics.TxnConsensus, time.Since(start))
+		}
+	}()
 	claimed := make([]*Offer, 0, len(set))
 	revert := func() {
 		for _, o := range claimed {
@@ -670,6 +686,7 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 	})
 	if err != nil {
 		revert()
+		reg.IncTxnRetry(metrics.TxnConsensus)
 		return false
 	}
 
@@ -683,6 +700,8 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 	// Count the fire before resolving any offer: a resolved offerer may run
 	// (and its observer read Fires) the moment done closes.
 	m.fires.Add(1)
+	reg.IncTxnCommit(metrics.TxnConsensus)
+	reg.ObserveCommunity(len(claimed))
 	for i, o := range claimed {
 		o.res = results[i]
 		o.chosen = chosen[i]

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/sdl-lang/sdl/internal/tuple"
 )
@@ -33,6 +34,8 @@ const checkpointVersion = 1
 // captures tuple contents, instance IDs, owners, and the store version —
 // enough to resume a stopped computation or to diff two configurations.
 func (s *Store) WriteCheckpoint(w io.Writer) error {
+	start := time.Now()
+	defer func() { s.metrics.ObserveCheckpointWrite(time.Since(start)) }()
 	var (
 		insts   []Instance
 		version uint64
@@ -70,6 +73,8 @@ func (s *Store) WriteCheckpoint(w io.Writer) error {
 // an empty store. It fails if the store already contains tuples (restoring
 // into live state would corrupt instance identity).
 func (s *Store) ReadCheckpoint(r io.Reader) error {
+	start := time.Now()
+	defer func() { s.metrics.ObserveCheckpointRead(time.Since(start)) }()
 	s.lockSet(&s.all)
 	defer s.unlockSet(&s.all)
 	for _, sh := range s.shards {

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/tuple"
 )
 
@@ -124,6 +125,15 @@ type shardSet struct{ bits [maxShards / 64]uint64 }
 func (ss *shardSet) add(i uint32)      { ss.bits[i>>6] |= 1 << (i & 63) }
 func (ss *shardSet) has(i uint32) bool { return ss.bits[i>>6]&(1<<(i&63)) != 0 }
 
+// count returns the number of shards in the set.
+func (ss *shardSet) count() int {
+	n := 0
+	for _, word := range ss.bits {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
 // forEach visits the set's shard indexes in ascending order (the global
 // lock order), stopping early when fn returns false.
 func (ss *shardSet) forEach(fn func(i uint32) bool) {
@@ -158,11 +168,12 @@ type shard struct {
 type Store struct {
 	nextID  atomic.Uint64
 	version atomic.Uint64
-	commits atomic.Uint64
 
 	shards []*shard
 	mask   uint32
 	all    shardSet // every shard index, for the full-lock paths
+
+	metrics *metrics.Registry
 
 	broadWake atomic.Bool
 	onCommit  []CommitHook
@@ -241,8 +252,9 @@ func New(opts ...Option) *Store {
 	}
 	n := normalizeShardCount(cfg.shards)
 	s := &Store{
-		shards: make([]*shard, n),
-		mask:   uint32(n - 1),
+		shards:  make([]*shard, n),
+		mask:    uint32(n - 1),
+		metrics: metrics.NewRegistry(n),
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -257,6 +269,11 @@ func New(opts ...Option) *Store {
 
 // NumShards returns the store's shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// Metrics returns the store's metrics registry. The registry is shared by
+// every component layered over the store (transaction engine, consensus
+// manager, process runtime), so it aggregates the whole system's activity.
+func (s *Store) Metrics() *metrics.Registry { return s.metrics }
 
 // shardIndex hashes an index key onto a shard: FNV-1a accumulation over
 // the key's canonical fields, then a full-avalanche finalizer so that
@@ -312,7 +329,11 @@ func (s *Store) planShards(keys []InterestKey) shardSet {
 }
 
 func (s *Store) rlockSet(ss *shardSet) {
-	ss.forEach(func(i uint32) bool { s.shards[i].mu.RLock(); return true })
+	ss.forEach(func(i uint32) bool {
+		s.shards[i].mu.RLock()
+		s.metrics.IncShardRead(i)
+		return true
+	})
 }
 
 func (s *Store) runlockSet(ss *shardSet) {
@@ -320,7 +341,11 @@ func (s *Store) runlockSet(ss *shardSet) {
 }
 
 func (s *Store) lockSet(ss *shardSet) {
-	ss.forEach(func(i uint32) bool { s.shards[i].mu.Lock(); return true })
+	ss.forEach(func(i uint32) bool {
+		s.shards[i].mu.Lock()
+		s.metrics.IncShardWrite(i)
+		return true
+	})
 }
 
 func (s *Store) unlockSet(ss *shardSet) {
@@ -427,6 +452,9 @@ func (s *Store) UpdateKeys(owner tuple.ProcessID, keys []InterestKey, fn func(w 
 
 func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) error {
 	s.lockSet(&ss)
+	if s.metrics.Observed() {
+		s.metrics.ObserveFootprint(ss.count())
+	}
 	w := &writer{reader: reader{s: s, ss: &ss}, owner: owner}
 	err := fn(w)
 	if err != nil {
@@ -437,7 +465,7 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 	var rec CommitRecord
 	changed := len(w.inserted) > 0 || len(w.deleted) > 0
 	if changed {
-		s.commits.Add(1)
+		s.metrics.IncCommits()
 		for _, si := range w.insShard {
 			s.shards[si].asserts++
 		}
@@ -475,7 +503,7 @@ func (s *Store) Len() int {
 
 // Stats returns a copy of the activity counters.
 func (s *Store) Stats() Stats {
-	st := Stats{Commits: s.commits.Load()}
+	st := Stats{Commits: s.metrics.Commits()}
 	s.rlockSet(&s.all)
 	for _, sh := range s.shards {
 		st.Asserts += sh.asserts

@@ -146,6 +146,7 @@ func (s *Store) SetBroadWakeups(broad bool) {
 // change racing with the evaluation is never missed.
 func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
 	w := &waiter{ch: make(chan struct{})}
+	s.metrics.WaiterDepth().Inc()
 	type keyReg struct {
 		si uint32
 		ik indexKey
@@ -175,13 +176,17 @@ func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
 		}
 	}
 
+	var cancelOnce sync.Once
 	cancel := func() {
-		for _, reg := range regKeys {
-			s.shards[reg.si].waiters.removeKey(reg.ik, w)
-		}
-		for _, reg := range regArities {
-			s.shards[reg.si].waiters.removeArity(reg.a, w)
-		}
+		cancelOnce.Do(func() {
+			for _, reg := range regKeys {
+				s.shards[reg.si].waiters.removeKey(reg.ik, w)
+			}
+			for _, reg := range regArities {
+				s.shards[reg.si].waiters.removeArity(reg.a, w)
+			}
+			s.metrics.WaiterDepth().Dec()
+		})
 	}
 	return w.ch, cancel
 }
@@ -203,6 +208,9 @@ func (s *Store) notify(rec CommitRecord, w *writer) {
 		for i, inst := range rec.Deleted {
 			fired = s.shards[w.delShard[i]].waiters.collect(inst, fired)
 		}
+	}
+	if s.metrics.Observed() {
+		s.metrics.ObserveWakeupFanout(len(fired))
 	}
 	for _, wt := range fired {
 		wt.fire()

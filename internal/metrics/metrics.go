@@ -1,0 +1,384 @@
+// Package metrics is the runtime observability layer: a low-overhead
+// registry of atomic counters, gauges, and fixed-bucket histograms that the
+// dataspace store, the transaction engine, and the consensus manager record
+// into on their hot paths.
+//
+// Design constraints (see DESIGN.md §6):
+//
+//   - Compiled-in, always present: every Store owns a Registry, so callers
+//     never branch on nil.
+//   - Near-free when no observer is attached: the always-on instruments are
+//     single atomic adds on cache-line-padded cells (per-shard counters are
+//     striped by shard index, so a counter cell is contended exactly as much
+//     as the shard lock next to it). Everything that needs a clock reading
+//     or touches a shared histogram on a per-operation basis — transaction
+//     latencies, footprint sizes, wakeup fan-out — is gated behind an
+//     Observed flag that Snapshot consumers flip on.
+//   - Lock-free recording: recording never blocks and is safe from any
+//     goroutine; Snapshot reads are racy-but-atomic (each field is a single
+//     atomic load; cross-field consistency is not promised while a workload
+//     runs).
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// cell is a cache-line-padded counter, so striped counters on adjacent
+// indexes do not false-share.
+type cell struct {
+	v atomic.Uint64
+	_ [120]byte
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (e.g. waiter queue depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Inc increments the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec decrements the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-boundary histogram: counts[i] tallies observations
+// v <= Bounds[i]; the final bucket is the overflow (+Inf) bucket. Boundaries
+// are fixed at construction so Observe is a short linear scan plus three
+// atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last = overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending boundaries.
+func NewHistogram(bounds []uint64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []uint64 `json:"bounds"` // ascending; last bucket is +Inf
+	Counts []uint64 `json:"counts"` // len(Bounds)+1
+	Count  uint64   `json:"count"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (hs HistogramSnapshot) Mean() float64 {
+	if hs.Count == 0 {
+		return 0
+	}
+	return float64(hs.Sum) / float64(hs.Count)
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// LatencyBounds are the nanosecond boundaries of the latency histograms:
+// 250ns, 500ns, 1µs, … doubling up to ~268ms, then +Inf.
+var LatencyBounds = expBounds(250, 21)
+
+// SizeBounds are the boundaries of the size histograms (footprint shard
+// counts, wakeup fan-out, consensus community sizes): 0, 1, 2, 4, … 256.
+var SizeBounds = []uint64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+func expBounds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base << uint(i)
+	}
+	return out
+}
+
+// TxnKind labels the operational type of a transaction for the per-kind
+// counters, mirroring the paper's '→', '⇒', and '⇑' tags.
+type TxnKind uint8
+
+// Transaction kinds.
+const (
+	TxnImmediate TxnKind = iota
+	TxnDelayed
+	TxnConsensus
+	numTxnKinds
+)
+
+// String names the kind.
+func (k TxnKind) String() string {
+	switch k {
+	case TxnImmediate:
+		return "immediate"
+	case TxnDelayed:
+		return "delayed"
+	case TxnConsensus:
+		return "consensus"
+	default:
+		return "invalid"
+	}
+}
+
+// TxnCounters is the per-kind transaction activity snapshot.
+type TxnCounters struct {
+	Attempts uint64 `json:"attempts"` // executions (one per Immediate/Delayed evaluation or consensus firing attempt)
+	Commits  uint64 `json:"commits"`  // successful executions
+	Retries  uint64 `json:"retries"`  // extra under-lock re-evaluations (optimistic conflicts, aborted fires)
+	Blocks   uint64 `json:"blocks"`   // times a process blocked (delayed wait, consensus offer)
+}
+
+// txnCells holds one kind's counters on separate cache lines.
+type txnCells struct {
+	attempts cell
+	commits  cell
+	retries  cell
+	blocks   cell
+}
+
+// shardCells holds one shard's lock counters on separate cache lines.
+type shardCells struct {
+	readLocks  cell
+	writeLocks cell
+}
+
+// ShardCounters is the per-shard activity snapshot.
+type ShardCounters struct {
+	ReadLocks  uint64 `json:"readLocks"`  // read-lock acquisitions
+	WriteLocks uint64 `json:"writeLocks"` // write-lock acquisitions
+}
+
+// Registry is the per-store metrics registry. Construct with NewRegistry;
+// the zero value is not usable.
+type Registry struct {
+	observed atomic.Bool
+
+	shards []shardCells
+
+	commits Counter // mutating store commits (== commit-hook invocations)
+
+	txn        [numTxnKinds]txnCells
+	txnLatency [numTxnKinds]*Histogram // ns per execution; gated on Observed
+
+	footprint    *Histogram // shards write-locked per update; gated on Observed
+	wakeupFanout *Histogram // waiters woken per mutating commit; gated on Observed
+	waiterDepth  Gauge      // currently registered waiters
+
+	consensusRounds    Counter    // detector evaluation rounds
+	consensusCommunity *Histogram // members per fired consensus set (always on; fires are rare)
+
+	checkpointWrite *Histogram // ns per WriteCheckpoint (always on; rare)
+	checkpointRead  *Histogram // ns per ReadCheckpoint (always on; rare)
+}
+
+// NewRegistry returns a registry for a store with the given shard count.
+func NewRegistry(shards int) *Registry {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Registry{
+		shards:             make([]shardCells, shards),
+		footprint:          NewHistogram(SizeBounds),
+		wakeupFanout:       NewHistogram(SizeBounds),
+		consensusCommunity: NewHistogram(SizeBounds),
+		checkpointWrite:    NewHistogram(LatencyBounds),
+		checkpointRead:     NewHistogram(LatencyBounds),
+	}
+	for k := range r.txnLatency {
+		r.txnLatency[k] = NewHistogram(LatencyBounds)
+	}
+	return r
+}
+
+// SetObserved attaches (or detaches) an observer: it enables the gated
+// instruments — transaction latency, footprint, and wakeup fan-out
+// histograms — which need clock readings or shared-cacheline updates per
+// operation. Flip it on before the workload whose histograms you want;
+// the always-on counters are unaffected.
+func (r *Registry) SetObserved(on bool) { r.observed.Store(on) }
+
+// Observed reports whether an observer is attached.
+func (r *Registry) Observed() bool { return r.observed.Load() }
+
+// --- recording (store) ---
+
+// IncShardRead counts one read-lock acquisition of shard i.
+func (r *Registry) IncShardRead(i uint32) { r.shards[i].readLocks.v.Add(1) }
+
+// IncShardWrite counts one write-lock acquisition of shard i.
+func (r *Registry) IncShardWrite(i uint32) { r.shards[i].writeLocks.v.Add(1) }
+
+// IncCommits counts one mutating store commit.
+func (r *Registry) IncCommits() { r.commits.Add(1) }
+
+// Commits returns the mutating-commit count.
+func (r *Registry) Commits() uint64 { return r.commits.Value() }
+
+// ObserveFootprint records the number of shards an update write-locked.
+// Gated: call only when Observed.
+func (r *Registry) ObserveFootprint(shards int) { r.footprint.Observe(uint64(shards)) }
+
+// ObserveWakeupFanout records the number of waiters a commit woke.
+// Gated: call only when Observed.
+func (r *Registry) ObserveWakeupFanout(n int) { r.wakeupFanout.Observe(uint64(n)) }
+
+// WaiterDepth is the gauge of currently registered waiters.
+func (r *Registry) WaiterDepth() *Gauge { return &r.waiterDepth }
+
+// ObserveCheckpointWrite records a WriteCheckpoint duration.
+func (r *Registry) ObserveCheckpointWrite(d time.Duration) {
+	r.checkpointWrite.Observe(uint64(d.Nanoseconds()))
+}
+
+// ObserveCheckpointRead records a ReadCheckpoint duration.
+func (r *Registry) ObserveCheckpointRead(d time.Duration) {
+	r.checkpointRead.Observe(uint64(d.Nanoseconds()))
+}
+
+// --- recording (transaction engine / consensus) ---
+
+// IncTxnAttempt counts one execution of a kind-k transaction.
+func (r *Registry) IncTxnAttempt(k TxnKind) { r.txn[k].attempts.v.Add(1) }
+
+// IncTxnCommit counts one successful kind-k transaction.
+func (r *Registry) IncTxnCommit(k TxnKind) { r.txn[k].commits.v.Add(1) }
+
+// IncTxnRetry counts one extra under-lock re-evaluation.
+func (r *Registry) IncTxnRetry(k TxnKind) { r.txn[k].retries.v.Add(1) }
+
+// IncTxnBlock counts one process block.
+func (r *Registry) IncTxnBlock(k TxnKind) { r.txn[k].blocks.v.Add(1) }
+
+// TxnAttempts returns the kind's execution count.
+func (r *Registry) TxnAttempts(k TxnKind) uint64 { return r.txn[k].attempts.v.Load() }
+
+// ObserveTxnLatency records one execution's duration. Gated: call only
+// when Observed.
+func (r *Registry) ObserveTxnLatency(k TxnKind, d time.Duration) {
+	r.txnLatency[k].Observe(uint64(d.Nanoseconds()))
+}
+
+// IncConsensusRound counts one detector evaluation round.
+func (r *Registry) IncConsensusRound() { r.consensusRounds.Add(1) }
+
+// ObserveCommunity records the size of a fired consensus set.
+func (r *Registry) ObserveCommunity(n int) { r.consensusCommunity.Observe(uint64(n)) }
+
+// --- snapshot ---
+
+// Snapshot is a point-in-time copy of every instrument, suitable for JSON
+// export (the expvar endpoint serves exactly this).
+type Snapshot struct {
+	Observed bool `json:"observed"`
+
+	Shards       []ShardCounters `json:"shards"`
+	StoreCommits uint64          `json:"storeCommits"`
+
+	Txn        map[string]TxnCounters       `json:"txn"`
+	TxnLatency map[string]HistogramSnapshot `json:"txnLatencyNs"`
+
+	Footprint    HistogramSnapshot `json:"footprintShards"`
+	WakeupFanout HistogramSnapshot `json:"wakeupFanout"`
+	WaiterDepth  int64             `json:"waiterDepth"`
+
+	ConsensusRounds    uint64            `json:"consensusRounds"`
+	ConsensusCommunity HistogramSnapshot `json:"consensusCommunity"`
+
+	CheckpointWrite HistogramSnapshot `json:"checkpointWriteNs"`
+	CheckpointRead  HistogramSnapshot `json:"checkpointReadNs"`
+}
+
+// TotalAttempts sums transaction attempts across kinds.
+func (s Snapshot) TotalAttempts() uint64 {
+	var n uint64
+	for _, c := range s.Txn {
+		n += c.Attempts
+	}
+	return n
+}
+
+// TotalCommits sums transaction commits across kinds.
+func (s Snapshot) TotalCommits() uint64 {
+	var n uint64
+	for _, c := range s.Txn {
+		n += c.Commits
+	}
+	return n
+}
+
+// ShardLockTotals sums lock acquisitions across shards.
+func (s Snapshot) ShardLockTotals() (reads, writes uint64) {
+	for _, sc := range s.Shards {
+		reads += sc.ReadLocks
+		writes += sc.WriteLocks
+	}
+	return reads, writes
+}
+
+// Snapshot copies every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Observed:           r.observed.Load(),
+		Shards:             make([]ShardCounters, len(r.shards)),
+		StoreCommits:       r.commits.Value(),
+		Txn:                make(map[string]TxnCounters, int(numTxnKinds)),
+		TxnLatency:         make(map[string]HistogramSnapshot, int(numTxnKinds)),
+		Footprint:          r.footprint.snapshot(),
+		WakeupFanout:       r.wakeupFanout.snapshot(),
+		WaiterDepth:        r.waiterDepth.Value(),
+		ConsensusRounds:    r.consensusRounds.Value(),
+		ConsensusCommunity: r.consensusCommunity.snapshot(),
+		CheckpointWrite:    r.checkpointWrite.snapshot(),
+		CheckpointRead:     r.checkpointRead.snapshot(),
+	}
+	for i := range r.shards {
+		s.Shards[i] = ShardCounters{
+			ReadLocks:  r.shards[i].readLocks.v.Load(),
+			WriteLocks: r.shards[i].writeLocks.v.Load(),
+		}
+	}
+	for k := TxnKind(0); k < numTxnKinds; k++ {
+		s.Txn[k.String()] = TxnCounters{
+			Attempts: r.txn[k].attempts.v.Load(),
+			Commits:  r.txn[k].commits.v.Load(),
+			Retries:  r.txn[k].retries.v.Load(),
+			Blocks:   r.txn[k].blocks.v.Load(),
+		}
+		s.TxnLatency[k.String()] = r.txnLatency[k].snapshot()
+	}
+	return s
+}

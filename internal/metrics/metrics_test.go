@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(2)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Errorf("gauge = %d, want 1", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{0, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	want := []uint64{2, 2, 0, 1} // (<=10)x2, (<=100)x2, (<=1000)x0, overflow x1
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 || s.Sum != 0+10+11+100+5000 {
+		t.Errorf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if got := s.Mean(); got != float64(s.Sum)/5 {
+		t.Errorf("mean = %v", got)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+// Bucket counts must sum to the observation count under concurrency — the
+// invariant the audit suite relies on when it equates histogram counts with
+// attempt counters.
+func TestHistogramConcurrentConsistency(t *testing.T) {
+	h := NewHistogram(SizeBounds)
+	const workers = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64((w*per + i) % 300))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != workers*per || s.Count != workers*per {
+		t.Errorf("bucket sum %d, count %d, want %d", total, s.Count, workers*per)
+	}
+}
+
+func TestTxnKindString(t *testing.T) {
+	cases := map[TxnKind]string{
+		TxnImmediate: "immediate",
+		TxnDelayed:   "delayed",
+		TxnConsensus: "consensus",
+		numTxnKinds:  "invalid",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry(4)
+	if r.Observed() {
+		t.Error("fresh registry must be unobserved")
+	}
+	r.SetObserved(true)
+
+	r.IncShardRead(0)
+	r.IncShardRead(0)
+	r.IncShardWrite(3)
+	r.IncCommits()
+	r.ObserveFootprint(2)
+	r.ObserveWakeupFanout(5)
+	r.WaiterDepth().Inc()
+	r.IncTxnAttempt(TxnDelayed)
+	r.IncTxnCommit(TxnDelayed)
+	r.IncTxnRetry(TxnDelayed)
+	r.IncTxnBlock(TxnDelayed)
+	r.ObserveTxnLatency(TxnDelayed, 3*time.Microsecond)
+	r.IncConsensusRound()
+	r.ObserveCommunity(7)
+	r.ObserveCheckpointWrite(time.Millisecond)
+	r.ObserveCheckpointRead(2 * time.Millisecond)
+
+	s := r.Snapshot()
+	if !s.Observed {
+		t.Error("snapshot not observed")
+	}
+	if len(s.Shards) != 4 || s.Shards[0].ReadLocks != 2 || s.Shards[3].WriteLocks != 1 {
+		t.Errorf("shards = %+v", s.Shards)
+	}
+	if reads, writes := s.ShardLockTotals(); reads != 2 || writes != 1 {
+		t.Errorf("lock totals = %d/%d", reads, writes)
+	}
+	if s.StoreCommits != 1 || r.Commits() != 1 {
+		t.Errorf("commits = %d", s.StoreCommits)
+	}
+	d := s.Txn["delayed"]
+	if d != (TxnCounters{Attempts: 1, Commits: 1, Retries: 1, Blocks: 1}) {
+		t.Errorf("delayed = %+v", d)
+	}
+	if r.TxnAttempts(TxnDelayed) != 1 {
+		t.Error("TxnAttempts")
+	}
+	if s.TotalAttempts() != 1 || s.TotalCommits() != 1 {
+		t.Errorf("totals = %d/%d", s.TotalAttempts(), s.TotalCommits())
+	}
+	if s.TxnLatency["delayed"].Count != 1 || s.TxnLatency["delayed"].Sum != 3000 {
+		t.Errorf("latency = %+v", s.TxnLatency["delayed"])
+	}
+	if s.Footprint.Count != 1 || s.Footprint.Sum != 2 {
+		t.Errorf("footprint = %+v", s.Footprint)
+	}
+	if s.WakeupFanout.Sum != 5 || s.WaiterDepth != 1 {
+		t.Errorf("fanout=%+v depth=%d", s.WakeupFanout, s.WaiterDepth)
+	}
+	if s.ConsensusRounds != 1 || s.ConsensusCommunity.Sum != 7 {
+		t.Errorf("consensus = %d/%+v", s.ConsensusRounds, s.ConsensusCommunity)
+	}
+	if s.CheckpointWrite.Count != 1 || s.CheckpointRead.Sum != 2e6 {
+		t.Errorf("checkpoints = %+v / %+v", s.CheckpointWrite, s.CheckpointRead)
+	}
+
+	// Snapshots are copies: later recording must not mutate them.
+	r.IncCommits()
+	r.ObserveFootprint(1)
+	if s.StoreCommits != 1 || s.Footprint.Count != 1 {
+		t.Error("snapshot aliases live registry state")
+	}
+}
+
+func TestNewRegistryClampsShards(t *testing.T) {
+	r := NewRegistry(0)
+	if len(r.Snapshot().Shards) != 1 {
+		t.Error("shard floor not applied")
+	}
+}
+
+func TestLatencyBoundsAscending(t *testing.T) {
+	for _, bs := range [][]uint64{LatencyBounds, SizeBounds} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("bounds not ascending at %d: %v", i, bs)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"github.com/sdl-lang/sdl/internal/consensus"
 	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
@@ -105,6 +106,11 @@ func NewRuntime(engine *txn.Engine, cons *consensus.Manager) *Runtime {
 
 // Engine returns the runtime's transaction engine.
 func (rt *Runtime) Engine() *txn.Engine { return rt.engine }
+
+// Metrics returns the metrics registry of the runtime's store, which
+// aggregates the whole system's activity (store, engine, consensus,
+// processes).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.engine.Metrics() }
 
 // Consensus returns the runtime's consensus manager.
 func (rt *Runtime) Consensus() *consensus.Manager { return rt.cons }

@@ -215,6 +215,45 @@ func (m *Model) Apply(tx Txn) (Result, error) {
 	return res, nil
 }
 
+// ApplyEffects replays one committed transaction's effects verbatim: the
+// deleted instances are removed (each must be present with the same tuple)
+// and the inserted instances are added under their production IDs (each
+// must be fresh). The serializability audit uses it to re-execute a
+// CommitLog in version order: if the replay ever references an instance
+// the serial history would not contain, the concurrent execution was not
+// equivalent to its commit order.
+func (m *Model) ApplyEffects(deleted, inserted []dataspace.Instance) error {
+	for _, del := range deleted {
+		idx := -1
+		for i, inst := range m.instances {
+			if inst.ID == del.ID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("refmodel: delete of absent instance #%d %s", del.ID, del.Tuple)
+		}
+		if !m.instances[idx].Tuple.Equal(del.Tuple) {
+			return fmt.Errorf("refmodel: delete of #%d sees %s, history has %s",
+				del.ID, del.Tuple, m.instances[idx].Tuple)
+		}
+		m.instances = append(m.instances[:idx], m.instances[idx+1:]...)
+	}
+	for _, ins := range inserted {
+		for _, inst := range m.instances {
+			if inst.ID == ins.ID {
+				return fmt.Errorf("refmodel: insert of duplicate instance #%d %s", ins.ID, ins.Tuple)
+			}
+		}
+		m.instances = append(m.instances, Instance{ID: ins.ID, Tuple: ins.Tuple, Owner: ins.Owner})
+		if ins.ID > m.nextID {
+			m.nextID = ins.ID
+		}
+	}
+	return nil
+}
+
 // Multiset returns the content multiset (hash → count), ignoring instance
 // identity — the right equality notion for differential tests, since the
 // production engine and the model allocate IDs differently once their

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+)
+
+// CommitLog records whole commit events — version, committing process, and
+// the retracted/asserted instances — rather than the Recorder's flattened
+// per-tuple events. External observers (and the serializability audit in
+// internal/refmodel) use it to reconstruct the committed history: because
+// every commit holds its shard write locks while the hook runs and takes
+// its version from one global atomic, replaying the records in version
+// order is an equivalent serial execution of the concurrent history.
+type CommitLog struct {
+	mu   sync.Mutex
+	recs []dataspace.CommitRecord
+}
+
+// NewCommitLog returns an empty log.
+func NewCommitLog() *CommitLog { return &CommitLog{} }
+
+// Attach subscribes the log to the store's commits. Call before the store
+// is shared between goroutines.
+func (l *CommitLog) Attach(s *dataspace.Store) {
+	s.OnCommit(l.observe)
+}
+
+func (l *CommitLog) observe(rec dataspace.CommitRecord) {
+	// Copy the effect slices: they are owned by the committing writer and
+	// only valid during the hook call.
+	cp := dataspace.CommitRecord{
+		Version:  rec.Version,
+		Owner:    rec.Owner,
+		Inserted: append([]dataspace.Instance(nil), rec.Inserted...),
+		Deleted:  append([]dataspace.Instance(nil), rec.Deleted...),
+	}
+	l.mu.Lock()
+	l.recs = append(l.recs, cp)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded commits.
+func (l *CommitLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Commits returns a copy of the log sorted by commit version. Commits on
+// disjoint shard sets append concurrently, so the internal order is not
+// version-sorted; the version sort recovers the serialization order.
+func (l *CommitLog) Commits() []dataspace.CommitRecord {
+	l.mu.Lock()
+	out := make([]dataspace.CommitRecord, len(l.recs))
+	copy(out, l.recs)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}

@@ -29,9 +29,11 @@ import (
 	"context"
 	"errors"
 	"sync/atomic"
+	"time"
 
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/view"
@@ -130,6 +132,7 @@ type Stats struct {
 type Engine struct {
 	store *dataspace.Store
 	mode  Mode
+	m     *metrics.Registry // the store's registry, cached
 
 	attempts  atomic.Uint64
 	commits   atomic.Uint64
@@ -143,11 +146,14 @@ func New(store *dataspace.Store, mode Mode) *Engine {
 	if mode != Coarse && mode != Optimistic {
 		mode = Coarse
 	}
-	return &Engine{store: store, mode: mode}
+	return &Engine{store: store, mode: mode, m: store.Metrics()}
 }
 
 // Store returns the engine's dataspace.
 func (e *Engine) Store() *dataspace.Store { return e.store }
+
+// Metrics returns the store's metrics registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.m }
 
 // Mode returns the engine's concurrency-control mode.
 func (e *Engine) Mode() Mode { return e.mode }
@@ -168,12 +174,39 @@ func (e *Engine) Stats() Stats {
 // the query succeeded; err reports evaluation errors (malformed queries,
 // export violations under ExportError).
 func (e *Engine) Immediate(req Request) (Result, error) {
+	return e.exec(req, metrics.TxnImmediate)
+}
+
+// exec runs one evaluation of req under the engine's mode, recording the
+// per-kind metrics: one attempt per exec, one commit on success, and —
+// when an observer is attached — the end-to-end latency. The registry's
+// attempts therefore count executions; extra under-lock re-evaluations
+// inside one exec are counted as retries, so per kind
+// latency-histogram count == attempts ≥ commits.
+func (e *Engine) exec(req Request, kind metrics.TxnKind) (Result, error) {
+	e.m.IncTxnAttempt(kind)
+	observed := e.m.Observed()
+	var start time.Time
+	if observed {
+		start = time.Now()
+	}
+	var (
+		res Result
+		err error
+	)
 	switch e.mode {
 	case Optimistic:
-		return e.immediateOptimistic(req)
+		res, err = e.immediateOptimistic(req, kind)
 	default:
-		return e.immediateCoarse(req)
+		res, err = e.immediateCoarse(req)
 	}
+	if observed {
+		e.m.ObserveTxnLatency(kind, time.Since(start))
+	}
+	if err == nil && res.OK {
+		e.m.IncTxnCommit(kind)
+	}
+	return res, err
 }
 
 // footprintKeys statically plans the set of index buckets req can scan,
@@ -273,7 +306,7 @@ func (e *Engine) immediateCoarse(req Request) (Result, error) {
 // disjoint from the footprint triggers a spurious re-evaluation (never an
 // incorrect commit) — the retry runs under the footprint's shard locks and
 // observes exactly the configuration it validates against.
-func (e *Engine) immediateOptimistic(req Request) (Result, error) {
+func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result, error) {
 	var (
 		snapVersion uint64
 		sols        []pattern.Binding
@@ -312,6 +345,7 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 			return Result{Env: req.Env}, nil
 		}
 		e.conflicts.Add(1)
+		e.m.IncTxnRetry(kind)
 		return e.lockedRetry(req, keys, planned)
 	}
 
@@ -335,6 +369,7 @@ func (e *Engine) immediateOptimistic(req Request) (Result, error) {
 			// in place.
 			e.conflicts.Add(1)
 			e.attempts.Add(1)
+			e.m.IncTxnRetry(kind)
 			r, err := e.evalAndApply(w, req)
 			if err != nil {
 				return err
@@ -496,7 +531,7 @@ func (e *Engine) Delayed(ctx context.Context, req Request) (Result, error) {
 	keys := interestKeys(req)
 	for {
 		ch, cancel := e.store.Wait(keys)
-		res, err := e.Immediate(req)
+		res, err := e.exec(req, metrics.TxnDelayed)
 		if err != nil {
 			cancel()
 			return Result{}, err
@@ -505,6 +540,7 @@ func (e *Engine) Delayed(ctx context.Context, req Request) (Result, error) {
 			cancel()
 			return res, nil
 		}
+		e.m.IncTxnBlock(metrics.TxnDelayed)
 		select {
 		case <-ch:
 			e.wakeups.Add(1)

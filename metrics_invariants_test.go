@@ -1,0 +1,167 @@
+package sdl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Metrics invariants over a whole System run: the observability layer's
+// counters must agree with the ground truth the commit log records, per
+// kind and in aggregate, and the waiter gauge must drain when the system
+// shuts down.
+func TestSystemMetricsInvariants(t *testing.T) {
+	sys := New(Options{Mode: Optimistic, Shards: 4})
+	clog := NewCommitLog()
+	clog.Attach(sys.Store)
+	sys.Metrics().SetObserved(true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Workload: immediate increments on per-worker counters, plus delayed
+	// consumers fed by a producer, so both kinds record.
+	const workers = 4
+	const ops = 100
+	for w := 0; w < workers; w++ {
+		sys.Store.Assert(Environment, NewTuple(Atom(fmt.Sprintf("ctr%d", w)), Int(0)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lead := Atom(fmt.Sprintf("ctr%d", w))
+			for i := 0; i < ops; i++ {
+				res, err := sys.Immediate(Request{
+					Proc:    ProcessID(w + 1),
+					View:    Universal(),
+					Query:   Q(R(C(lead), V("n"))),
+					Asserts: []Pattern{P(C(lead), E(Add(X("n"), Lit(Int(1)))))},
+				})
+				if err != nil || !res.OK {
+					t.Errorf("worker %d op %d: res=%+v err=%v", w, i, res, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			res, err := sys.Delayed(ctx, Request{
+				Proc:    ProcessID(100),
+				View:    Universal(),
+				Query:   Q(R(C(Atom("job")), V("v"))),
+				Asserts: []Pattern{P(C(Atom("done")), V("v"))},
+			})
+			if err != nil || !res.OK {
+				t.Errorf("consumer %d: res=%+v err=%v", i, res, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		sys.Store.Assert(Environment, NewTuple(Atom("job"), Int(int64(i))))
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+
+	snap := sys.Snapshot()
+
+	// Commit counters equal the transitions the commit log observed, minus
+	// the environment's direct Asserts (which bypass the engine but still
+	// commit on the store).
+	records := uint64(clog.Len())
+	if snap.StoreCommits != records {
+		t.Errorf("store commits %d, commit records %d", snap.StoreCommits, records)
+	}
+	const envAsserts = workers + 10
+	if got := snap.TotalCommits(); got != records-envAsserts {
+		t.Errorf("txn commits %d, want %d (records %d - env asserts %d)",
+			got, records-envAsserts, records, envAsserts)
+	}
+
+	// Attempts dominate commits, per kind and in total.
+	if snap.TotalAttempts() < snap.TotalCommits() {
+		t.Errorf("attempts %d < commits %d", snap.TotalAttempts(), snap.TotalCommits())
+	}
+	for kind, c := range snap.Txn {
+		if c.Attempts < c.Commits {
+			t.Errorf("%s: attempts %d < commits %d", kind, c.Attempts, c.Commits)
+		}
+		// One latency observation per attempt while observed, and bucket
+		// counts internally consistent.
+		lat := snap.TxnLatency[kind]
+		if lat.Count != c.Attempts {
+			t.Errorf("%s: latency count %d, attempts %d", kind, lat.Count, c.Attempts)
+		}
+		var buckets uint64
+		for _, n := range lat.Counts {
+			buckets += n
+		}
+		if buckets != lat.Count {
+			t.Errorf("%s: bucket sum %d, count %d", kind, buckets, lat.Count)
+		}
+	}
+	if imm := snap.Txn["immediate"]; imm.Commits != workers*ops {
+		t.Errorf("immediate commits %d, want %d", imm.Commits, workers*ops)
+	}
+	if del := snap.Txn["delayed"]; del.Commits != 10 {
+		t.Errorf("delayed commits %d, want 10", del.Commits)
+	}
+
+	// Lock discipline: every mutating commit write-locked at least one
+	// shard, and the 4-shard registry exposes per-shard resolution.
+	if len(snap.Shards) != 4 {
+		t.Fatalf("shard counters = %d, want 4", len(snap.Shards))
+	}
+	if _, writes := snap.ShardLockTotals(); writes < snap.StoreCommits {
+		t.Errorf("write locks %d < commits %d", writes, snap.StoreCommits)
+	}
+
+	// All waiters were satisfied, and shutdown leaves the gauge at zero.
+	sys.Close()
+	if d := sys.Snapshot().WaiterDepth; d != 0 {
+		t.Errorf("waiter depth %d after Close, want 0", d)
+	}
+}
+
+// The waiter gauge must drain even when waiters are cancelled rather than
+// satisfied.
+func TestWaiterDepthDrainsOnCancel(t *testing.T) {
+	sys := New(Options{})
+	defer sys.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := sys.Delayed(ctx, Request{
+				Proc:  ProcessID(i + 1),
+				View:  Universal(),
+				Query: Q(R(C(Atom("never")), C(Int(int64(i))))),
+			})
+			if err == nil {
+				t.Error("cancelled delayed txn returned nil error")
+			}
+		}(i)
+	}
+	// Wait until every waiter has registered, then cancel them all.
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.Snapshot().WaiterDepth < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never registered: depth %d", sys.Snapshot().WaiterDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if d := sys.Snapshot().WaiterDepth; d != 0 {
+		t.Errorf("waiter depth %d after cancellation, want 0", d)
+	}
+}

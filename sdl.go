@@ -31,6 +31,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/consensus"
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/process"
 	"github.com/sdl-lang/sdl/internal/trace"
@@ -277,6 +278,9 @@ type (
 	Recorder = trace.Recorder
 	// TraceEvent is one assert/retract event.
 	TraceEvent = trace.Event
+	// CommitLog records whole commit events (version + effects) for
+	// committed-history reconstruction and serializability audits.
+	CommitLog = trace.CommitLog
 	// Watcher is a decoupled visualization process: it samples consistent
 	// dataspace snapshots on a cadence and renders them.
 	Watcher = vis.Watcher
@@ -285,6 +289,18 @@ type (
 var (
 	// NewRecorder creates a trace recorder (0 = unbounded).
 	NewRecorder = trace.NewRecorder
+	// NewCommitLog creates a commit-event log; Attach it to a store.
+	NewCommitLog = trace.NewCommitLog
 	// NewWatcher starts a snapshot-sampling observer.
 	NewWatcher = vis.NewWatcher
+)
+
+// Observability.
+type (
+	// MetricsRegistry is the runtime's metrics registry: low-overhead
+	// counters, gauges, and histograms recorded by the store, engine, and
+	// consensus manager. Obtain it with Store.Metrics or System.Metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = metrics.Snapshot
 )

@@ -57,6 +57,18 @@ func (s *System) Close() {
 	s.Cons.Close()
 }
 
+// Metrics returns the system's metrics registry (shared by the store,
+// engine, consensus manager, and runtime). Use SetObserved(true) to enable
+// the gated instruments (latency/footprint/fan-out histograms) before a
+// workload you want to profile.
+func (s *System) Metrics() *MetricsRegistry { return s.Store.Metrics() }
+
+// Snapshot returns a point-in-time copy of the system's metrics: per-shard
+// lock acquisitions, transaction attempts/commits/retries/blocks by kind,
+// waiter depth and wakeup fan-out, consensus rounds and community sizes,
+// and checkpoint timings.
+func (s *System) Snapshot() MetricsSnapshot { return s.Store.Metrics().Snapshot() }
+
 // Define registers a process definition.
 func (s *System) Define(defs ...*Definition) error {
 	for _, d := range defs {

@@ -1,14 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race audit check bench sweep fuzz-smoke clean
+.PHONY: all build vet test race audit check bench sweep fuzz-smoke analyze-smoke clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
+# go vet over the Go sources, then sdlvet over the shipped SDL corpus —
+# the examples must stay clean under every analyzer pass.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sdlvet ./examples/sdl/*.sdl
 
 test:
 	$(GO) test ./...
@@ -21,8 +24,13 @@ audit:
 	$(GO) test -race ./internal/metrics ./internal/refmodel ./internal/trace
 	$(GO) test -race -run 'Metrics|WaiterDepth' .
 
+# A short analyzer fuzz pass that rides the commit gate (the longer
+# campaign lives in fuzz-smoke).
+analyze-smoke:
+	$(GO) test -fuzz=FuzzAnalyze -fuzztime=5s -run '^$$' ./internal/analysis
+
 # The verification gate: everything a commit must pass.
-check: vet build race audit
+check: vet build race audit analyze-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -36,6 +44,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run '^$$' ./internal/lang
 	$(GO) test -fuzz=FuzzLex -fuzztime=10s -run '^$$' ./internal/lang
 	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./internal/pattern
+	$(GO) test -fuzz=FuzzAnalyze -fuzztime=10s -run '^$$' ./internal/analysis
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,9 @@
 //	-checkpoint file          write the final dataspace to a checkpoint
 //	-restore file             load a dataspace checkpoint before running
 //	-fmt                      format the program to stdout instead
+//	-vet                      run the static analyzer first and refuse to
+//	                          run if it reports errors; -vet=warn reports
+//	                          but runs anyway
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sdl-lang/sdl/internal/analysis"
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/lang"
 	"github.com/sdl-lang/sdl/internal/metrics"
@@ -88,6 +92,54 @@ func main() {
 	}
 }
 
+// vetFlag is the tri-state -vet flag: "off" (default), "on" (bare -vet:
+// analyzer errors refuse the run), or "warn" (-vet=warn: report and run
+// anyway).
+type vetFlag struct{ mode string }
+
+func (v *vetFlag) String() string { return v.mode }
+
+func (v *vetFlag) Set(s string) error {
+	switch s {
+	case "true", "on":
+		v.mode = "on"
+	case "false", "off":
+		v.mode = "off"
+	case "warn":
+		v.mode = "warn"
+	default:
+		return fmt.Errorf(`-vet accepts "on", "off", or "warn"`)
+	}
+	return nil
+}
+
+// IsBoolFlag lets bare -vet (no value) mean -vet=on.
+func (v *vetFlag) IsBoolFlag() bool { return true }
+
+// vetProgram runs the static analyzer over the merged program and prints
+// warnings and errors to stderr. In "on" mode any error-severity finding
+// (view soundness) refuses the run; "warn" mode reports and continues.
+func vetProgram(prog *lang.Program, mode string) error {
+	diags, err := analysis.Analyze(prog, analysis.Options{})
+	if err != nil {
+		return err
+	}
+	nerrs := 0
+	for _, d := range diags {
+		if d.Severity < analysis.Warn {
+			continue
+		}
+		if d.Severity >= analysis.Error {
+			nerrs++
+		}
+		fmt.Fprintf(os.Stderr, "sdli: vet: %s: %s\n", d.Severity, d)
+	}
+	if nerrs > 0 && mode != "warn" {
+		return fmt.Errorf("vet reported %d error(s); fix them or run with -vet=warn", nerrs)
+	}
+	return nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdli", flag.ContinueOnError)
 	var (
@@ -104,6 +156,8 @@ func run(args []string) error {
 		restore   = fs.String("restore", "", "load a dataspace checkpoint before running")
 		ckptPath  = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
 	)
+	vet := &vetFlag{mode: "off"}
+	fs.Var(vet, "vet", `run the static analyzer first: "on" refuses to run on errors, "warn" reports and runs anyway`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +183,11 @@ func run(args []string) error {
 	if *format {
 		fmt.Print(lang.Format(prog))
 		return nil
+	}
+	if vet.mode != "off" {
+		if err := vetProgram(prog, vet.mode); err != nil {
+			return err
+		}
 	}
 
 	var mode txn.Mode

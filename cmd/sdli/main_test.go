@@ -291,3 +291,66 @@ behavior -> <out, v> end`)
 		t.Errorf("err = %v", err)
 	}
 }
+
+// unsoundSrc has a view-soundness error: Logger's assert falls outside
+// its export clause. The program itself runs fine (the bad assert is
+// simply filtered by the view at runtime), which is exactly why the
+// static gate matters.
+const unsoundSrc = `
+process Logger()
+import <job, *>
+export <log, *>
+behavior
+  -> <audit, 1>
+end
+
+main
+  spawn Logger()
+end
+`
+
+func TestRunVetRefusesUnsoundProgram(t *testing.T) {
+	path := writeProgram(t, unsoundSrc)
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-vet", path})
+	})
+	if err == nil {
+		t.Fatal("vet gate let an unsound program run")
+	}
+	if !strings.Contains(err.Error(), "-vet=warn") {
+		t.Errorf("error does not mention the override: %v", err)
+	}
+}
+
+func TestRunVetWarnModeRunsAnyway(t *testing.T) {
+	path := writeProgram(t, unsoundSrc)
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-vet=warn", path})
+	})
+	if err != nil {
+		t.Fatalf("vet=warn should run the program: %v", err)
+	}
+}
+
+func TestRunVetCleanProgramRuns(t *testing.T) {
+	path := writeProgram(t, `main -> <hello, 1> end`)
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-vet", "-dump", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<hello, 1>") {
+		t.Errorf("program did not run under -vet:\n%s", out)
+	}
+}
+
+func TestRunVetBadValue(t *testing.T) {
+	path := writeProgram(t, `main -> <hello, 1> end`)
+	_, err := captureStdout(t, func() error {
+		return run([]string{"-vet=frobnicate", path})
+	})
+	if err == nil {
+		t.Fatal("bad -vet value accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Command sdlvet statically analyzes SDL source programs. It parses each
+// named file and runs the internal/analysis passes over it, printing
+// machine-readable diagnostics:
+//
+//	file:line:col: [check-id] message
+//
+// Each file is analyzed as its own program: a file with a main block is
+// checked whole-program (spawn reachability, shape inference across
+// process and driver), a library file of process definitions is checked
+// with every process assumed reachable.
+//
+// Usage:
+//
+//	sdlvet [flags] program.sdl [more.sdl ...]
+//
+// Flags:
+//
+//	-checks list   comma-separated check ids to run (default: all)
+//	-json          emit diagnostics as a JSON array on stdout
+//	-notes         include informational notes (consensus communities)
+//
+// Exit status: 0 if every file is clean, 1 if any warning or error was
+// reported, 2 on usage, read, or parse failures.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/analysis"
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("sdlvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		checksFlag = fs.String("checks", "", "comma-separated check ids to run (default all: "+strings.Join(analysis.AllChecks, ",")+")")
+		jsonOut    = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		notes      = fs.Bool("notes", false, "include informational notes in the output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(errw, "usage: sdlvet [flags] program.sdl [more.sdl ...]")
+		return 2
+	}
+	var opts analysis.Options
+	if *checksFlag != "" {
+		opts.Checks = strings.Split(*checksFlag, ",")
+	}
+
+	var jsonDiags []jsonDiag
+	findings := false
+	broken := false
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(errw, "sdlvet:", err)
+			broken = true
+			continue
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			// Positioned parse errors keep the file:line:col convention so
+			// editors can jump to them like any other diagnostic.
+			var le *lang.Error
+			if errors.As(err, &le) {
+				fmt.Fprintf(errw, "%s:%s\n", path, le.Error())
+			} else {
+				fmt.Fprintf(errw, "%s: %s\n", path, err)
+			}
+			broken = true
+			continue
+		}
+		diags, err := analysis.Analyze(prog, opts)
+		if err != nil {
+			// Unknown check id: a usage error, same for every file.
+			fmt.Fprintln(errw, "sdlvet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			if d.Severity >= analysis.Warn {
+				findings = true
+			} else if !*notes {
+				continue
+			}
+			if *jsonOut {
+				jsonDiags = append(jsonDiags, jsonDiag{
+					File:     path,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Col,
+					Check:    d.Check,
+					Severity: d.Severity.String(),
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Fprintf(out, "%s:%s\n", path, d.String())
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if jsonDiags == nil {
+			jsonDiags = []jsonDiag{}
+		}
+		if err := enc.Encode(jsonDiags); err != nil {
+			fmt.Fprintln(errw, "sdlvet:", err)
+			return 2
+		}
+	}
+	switch {
+	case broken:
+		return 2
+	case findings:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of a shared analyzer fixture.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "testdata", name)
+}
+
+func runVet(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestCleanProgramExitsZero(t *testing.T) {
+	code, out, errw := runVet(t, fixture("clean.sdl"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw)
+	}
+	if out != "" {
+		t.Errorf("clean program produced output: %s", out)
+	}
+}
+
+func TestNotesFlagRevealsCommunities(t *testing.T) {
+	code, out, _ := runVet(t, "-notes", fixture("clean.sdl"))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "[consensus] consensus community") {
+		t.Errorf("missing community note in: %s", out)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, out, _ := runVet(t, fixture("view.sdl"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out, "view.sdl:") || !strings.Contains(out, "[view]") {
+		t.Errorf("diagnostics missing file prefix or check id: %s", out)
+	}
+}
+
+func TestChecksFlagRestrictsPasses(t *testing.T) {
+	// The view fixture has no hygiene findings, so a hygiene-only run is
+	// clean.
+	code, out, _ := runVet(t, "-checks", "hygiene", fixture("view.sdl"))
+	if code != 0 {
+		t.Fatalf("exit %d, output: %s", code, out)
+	}
+	code, _, errw := runVet(t, "-checks", "bogus", fixture("view.sdl"))
+	if code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2 (stderr: %s)", code, errw)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runVet(t, "-json", fixture("shape.sdl"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line < 1 || d.Col < 1 || d.Check != "shape" || d.Severity != "warn" || d.Message == "" {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	code, out, _ := runVet(t, "-json", fixture("clean.sdl"))
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("want empty JSON array, got: %s", out)
+	}
+}
+
+func TestParseErrorExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.sdl")
+	if err := os.WriteFile(bad, []byte("process oops\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := runVet(t, bad)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errw, "bad.sdl:") {
+		t.Errorf("parse error not attributed to file: %s", errw)
+	}
+}
+
+func TestMultipleFilesAggregate(t *testing.T) {
+	// One dirty file among clean ones still fails the batch.
+	code, out, _ := runVet(t, fixture("clean.sdl"), fixture("hygiene.sdl"))
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Contains(out, "clean.sdl:") {
+		t.Errorf("clean file produced findings: %s", out)
+	}
+	if !strings.Contains(out, "hygiene.sdl:") {
+		t.Errorf("dirty file missing from output: %s", out)
+	}
+}
+
+func TestUsageErrorExitsTwo(t *testing.T) {
+	if code, _, _ := runVet(t); code != 2 {
+		t.Fatalf("no-args exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import "github.com/sdl-lang/sdl/internal/lang"
+
+// runBlocked is the permanently-blocked delayed-transaction pass. A
+// delayed (`=>`) transaction suspends until its query succeeds; if one of
+// its positive patterns can be satisfied by no assert site in any process
+// reachable from main (nor by main's initial assertions), the transaction
+// provably never wakes — the runtime's silent "blocks forever" failure
+// mode. ∀-quantified queries are exempt from the pattern check (an empty
+// match set satisfies them vacuously); a constant-false predicate blocks
+// either way.
+//
+// The pass is conservative about the data it cannot see: a dataspace
+// seeded from a checkpoint (sdli -restore) may satisfy patterns no assert
+// site produces, hence Warn rather than Error severity.
+func runBlocked(p *pass) {
+	var reachableSites []assertSite
+	for _, s := range p.asserts {
+		if p.reachable[s.unit.name] {
+			reachableSites = append(reachableSites, s)
+		}
+	}
+	for _, u := range p.units {
+		if !p.reachable[u.name] {
+			continue
+		}
+		for _, ti := range u.txns {
+			if ti.txn.Tag != lang.TagDelayed {
+				continue
+			}
+			if constFalse(ti.txn.Where, ti.bound) {
+				p.addf(ti.txn.Pos, CheckBlocked, Warn,
+					"delayed transaction can never fire: its predicate is constant-false")
+				continue
+			}
+			if ti.txn.Quant == lang.QuantForall {
+				continue
+			}
+			for _, it := range ti.txn.Items {
+				if it.Negated {
+					continue
+				}
+				pat := abstractPattern(it.Pattern, ti.bound)
+				if !compatibleWithAny(pat, reachableSites) {
+					p.addf(it.Pos, CheckBlocked, Warn,
+						"delayed transaction may block forever: pattern %s is satisfied by no reachable assert site",
+						lang.PatternString(it.Pattern))
+				}
+			}
+		}
+	}
+}

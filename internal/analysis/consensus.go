@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+// runConsensus is the static consensus-set pass. At run time a consensus
+// transaction commits only when every process in its community — the
+// transitive closure of the import-overlap relation `p needs q ≡
+// Import(p) ∩ Import(q) ∩ D ≠ ∅` — offers one. This pass over-approximates
+// that relation from the view clauses alone (dropping the ∩ D term, so
+// every runtime community is contained in a static one), reports each
+// `@>` transaction's potential community as a note, and warns about two
+// structural smells:
+//
+//   - a singleton community: the transaction can synchronize only with
+//     other instances of its own process type;
+//   - a community member that never offers a consensus transaction: while
+//     an instance of it lives, no consensus in the community can fire.
+//     main is exempt — it is the orchestrator and typically terminates
+//     before consensus is attempted.
+func runConsensus(p *pass) {
+	// Participants: reachable units. Main participates (an undeclared
+	// view imports everything) but is exempt from the no-offer warning.
+	var parts []*unit
+	for _, u := range p.units {
+		if p.reachable[u.name] {
+			parts = append(parts, u)
+		}
+	}
+	imports := make(map[*unit][]absRule, len(parts))
+	hasOffer := make(map[*unit]bool, len(parts))
+	for _, u := range parts {
+		if u.decl != nil {
+			imports[u] = abstractClause(u.decl.Imports, u.decl.Params)
+		}
+		for _, ti := range u.txns {
+			if ti.txn.Tag == lang.TagConsensus {
+				hasOffer[u] = true
+			}
+		}
+	}
+
+	overlaps := func(a, b *unit) bool {
+		ra, rb := imports[a], imports[b]
+		if ra == nil || rb == nil {
+			return true // an empty clause imports everything
+		}
+		for _, x := range ra {
+			if x.dead {
+				continue
+			}
+			for _, y := range rb {
+				if !y.dead && x.pat.compat(y.pat) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	community := func(root *unit) []*unit {
+		in := map[*unit]bool{root: true}
+		members := []*unit{root}
+		for changed := true; changed; {
+			changed = false
+			for _, u := range parts {
+				if in[u] {
+					continue
+				}
+				for m := range in {
+					if overlaps(u, m) {
+						in[u] = true
+						members = append(members, u)
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		return members
+	}
+
+	for _, u := range parts {
+		for _, ti := range u.txns {
+			if ti.txn.Tag != lang.TagConsensus {
+				continue
+			}
+			members := community(u)
+			names := make([]string, len(members))
+			for i, m := range members {
+				names[i] = m.name
+			}
+			sort.Strings(names)
+			p.addf(ti.txn.Pos, CheckConsensus, Note,
+				"consensus community of process %s: {%s}", u.name, strings.Join(names, ", "))
+			if len(members) == 1 {
+				p.addf(ti.txn.Pos, CheckConsensus, Warn,
+					"consensus transaction's static community contains only %s; it cannot synchronize with any other process type", u.name)
+				continue
+			}
+			for _, m := range members {
+				if m == u || m.decl == nil || hasOffer[m] {
+					continue
+				}
+				p.addf(ti.txn.Pos, CheckConsensus, Warn,
+					"process %s is in this consensus community but never offers a consensus transaction; the community may never fire",
+					m.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/analysis"
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+// TestExamplesCorpusVetsClean pins the standing contract: every shipped
+// example program passes every analyzer pass with nothing above a note
+// (community reports are expected — they are information, not findings).
+func TestExamplesCorpusVetsClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "sdl", "*.sdl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 7 {
+		t.Fatalf("expected at least 7 example programs, found %d", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.Analyze(prog, analysis.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				if d.Severity >= analysis.Warn {
+					t.Errorf("finding in shipped example: %s %s", d.Severity, d)
+				}
+			}
+		})
+	}
+}

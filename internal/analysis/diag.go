@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+// Severity grades a diagnostic.
+type Severity uint8
+
+// Severities. Note diagnostics are informational (consensus community
+// reports); Warn marks probable bugs; Error marks programs the runtime
+// will reject or that provably violate their declared views.
+const (
+	Note Severity = iota
+	Warn
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Note:
+		return "note"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      lang.Pos
+	Check    string // check id: one of AllChecks
+	Severity Severity
+	Message  string
+}
+
+// String renders the finding in the canonical `line:col: [check-id]
+// message` form. Callers that analyze files prepend `file:`.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// sortDiags orders diagnostics by position, then severity (most severe
+// first), then check id, for deterministic output.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		return a.Check < b.Check
+	})
+}

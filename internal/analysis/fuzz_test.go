@@ -1,0 +1,57 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/analysis"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/lang/langtest"
+)
+
+// FuzzAnalyze drives the analyzer over randomly generated programs (the
+// same generator as the front-end's format/parse fixpoint test). Two
+// properties: the analyzer never panics, and every diagnostic carries a
+// valid position and a known check id. The hand-built AST is analyzed
+// too — it has zero positions and no DeclVarPos, the worst case for
+// position bookkeeping.
+func FuzzAnalyze(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	known := make(map[string]bool, len(analysis.AllChecks))
+	for _, id := range analysis.AllChecks {
+		known[id] = true
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		g := langtest.NewGen(rand.New(rand.NewSource(seed)))
+		prog := g.Program()
+
+		// Robustness on synthetic ASTs (no positions at all).
+		if _, err := analysis.Analyze(prog, analysis.Options{}); err != nil {
+			t.Fatalf("analyze synthetic AST: %v", err)
+		}
+
+		// Positioned diagnostics on the parsed round trip.
+		src := lang.Format(prog)
+		parsed, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("formatted program does not parse: %v\n%s", err, src)
+		}
+		diags, err := analysis.Analyze(parsed, analysis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			if d.Pos.Line < 1 || d.Pos.Col < 1 {
+				t.Errorf("diagnostic with invalid position %v: %s\n%s", d.Pos, d, src)
+			}
+			if !known[d.Check] {
+				t.Errorf("diagnostic with unknown check id %q", d.Check)
+			}
+			if d.Message == "" {
+				t.Error("diagnostic with empty message")
+			}
+		}
+	})
+}

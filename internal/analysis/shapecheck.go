@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+// runShape is the tuple-shape inference pass. The dataspace is untyped, so
+// a typo in an arity, a lead atom, or a constant field does not fail — the
+// query just never matches. This pass collects every assert site's
+// abstract shape program-wide and flags query patterns that are
+// compatible with none of them.
+func runShape(p *pass) {
+	byArity := make(map[int][]assertSite)
+	for _, s := range p.asserts {
+		byArity[s.pat.arity()] = append(byArity[s.pat.arity()], s)
+	}
+	for _, u := range p.units {
+		for _, ti := range u.txns {
+			for _, it := range ti.txn.Items {
+				pat := abstractPattern(it.Pattern, ti.bound)
+				sites := byArity[pat.arity()]
+				if len(sites) == 0 {
+					p.addf(it.Pos, CheckShape, Warn,
+						"query pattern %s has arity %d, but no assert site in the program produces %d-tuples",
+						lang.PatternString(it.Pattern), pat.arity(), pat.arity())
+					continue
+				}
+				if compatibleWithAny(pat, sites) {
+					continue
+				}
+				p.addf(it.Pos, CheckShape, Warn, "%s", shapeMismatch(it, pat, sites))
+			}
+		}
+	}
+}
+
+func compatibleWithAny(pat absPat, sites []assertSite) bool {
+	for _, s := range sites {
+		if pat.compat(s.pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// shapeMismatch explains why no asserted shape matches: an unknown lead
+// (with the asserted leads listed), or the first constant field on which
+// every site conflicts.
+func shapeMismatch(it lang.QueryItem, pat absPat, sites []assertSite) string {
+	src := lang.PatternString(it.Pattern)
+	if len(pat.fields) > 0 && pat.fields[0].known {
+		leadOK := false
+		for _, s := range sites {
+			if pat.fields[0].compat(s.pat.fields[0]) {
+				leadOK = true
+				break
+			}
+		}
+		if !leadOK {
+			return fmt.Sprintf(
+				"query pattern %s matches no asserted shape: no %d-tuple is asserted with lead %s (asserted leads: %s)",
+				src, pat.arity(), pat.fields[0].val, assertedLeads(sites))
+		}
+	}
+	for i := range pat.fields {
+		if !pat.fields[i].known {
+			continue
+		}
+		conflict := true
+		for _, s := range sites {
+			if pat.fields[i].compat(s.pat.fields[i]) {
+				conflict = false
+				break
+			}
+		}
+		if conflict {
+			return fmt.Sprintf(
+				"query pattern %s matches no asserted shape: field %d (%s) conflicts with every asserted %d-tuple",
+				src, i+1, pat.fields[i].val, pat.arity())
+		}
+	}
+	return fmt.Sprintf("query pattern %s matches no statically asserted tuple shape", src)
+}
+
+// assertedLeads lists the distinct known lead values of the sites, with
+// "?" standing in for sites whose lead is unknown.
+func assertedLeads(sites []assertSite) string {
+	seen := make(map[string]bool)
+	var leads []string
+	for _, s := range sites {
+		str := "?"
+		if len(s.pat.fields) > 0 && s.pat.fields[0].known {
+			str = s.pat.fields[0].val.String()
+		}
+		if !seen[str] {
+			seen[str] = true
+			leads = append(leads, str)
+		}
+	}
+	sort.Strings(leads)
+	return strings.Join(leads, ", ")
+}

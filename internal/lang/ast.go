@@ -31,6 +31,7 @@ type MainDecl struct {
 type ViewRule struct {
 	Pattern PatternNode
 	Where   ExprNode
+	Pos     Pos
 }
 
 // StmtNode is one behavior statement.
@@ -38,13 +39,14 @@ type StmtNode interface{ stmtNode() }
 
 // TxnNode is a transaction statement.
 type TxnNode struct {
-	Quant    QuantKind
-	DeclVars []string // variables declared by the quantifier prefix
-	Items    []QueryItem
-	Where    ExprNode
-	Tag      TagKind
-	Actions  []ActionNode
-	Pos      Pos
+	Quant      QuantKind
+	DeclVars   []string // variables declared by the quantifier prefix
+	DeclVarPos []Pos    // positions of the declarations, parallel to DeclVars
+	Items      []QueryItem
+	Where      ExprNode
+	Tag        TagKind
+	Actions    []ActionNode
+	Pos        Pos
 }
 
 // SelNode, RepNode, ParNode are the selection, repetition, and
@@ -100,6 +102,7 @@ type QueryItem struct {
 	Pattern PatternNode
 	Negated bool
 	Retract bool
+	Pos     Pos // start of the item ('not' keyword or the pattern itself)
 }
 
 // PatternNode is a tuple pattern literal.

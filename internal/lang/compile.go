@@ -187,36 +187,14 @@ func (c *compiler) compileProcess(pd *ProcessDecl) (*process.Definition, error) 
 }
 
 func collectLets(stmts []StmtNode, sc *scope) {
-	var walkTxn func(t *TxnNode)
-	walkTxn = func(t *TxnNode) {
-		for _, a := range t.Actions {
-			if l, ok := a.(LetAction); ok {
+	for _, s := range stmts {
+		Walk(s, func(n Node) bool {
+			if l, ok := n.(LetAction); ok {
 				sc.bind(l.Name)
 			}
-		}
+			return true
+		})
 	}
-	var walk func(stmts []StmtNode)
-	walkBranches := func(bs []BranchNode) {
-		for _, b := range bs {
-			walkTxn(b.Guard)
-			walk(b.Body)
-		}
-	}
-	walk = func(stmts []StmtNode) {
-		for _, s := range stmts {
-			switch st := s.(type) {
-			case *TxnNode:
-				walkTxn(st)
-			case *SelNode:
-				walkBranches(st.Branches)
-			case *RepNode:
-				walkBranches(st.Branches)
-			case *ParNode:
-				walkBranches(st.Branches)
-			}
-		}
-	}
-	walk(stmts)
 }
 
 // compileClause builds a view clause from rules; no rules = Everything.
@@ -493,6 +471,13 @@ var tokToOp = map[TokKind]expr.Op{
 	TokEQ: expr.OpEq, TokNE: expr.OpNe,
 	TokLT: expr.OpLt, TokLE: expr.OpLe, TokGT: expr.OpGt, TokGE: expr.OpGe,
 	TokAnd: expr.OpAnd, TokOr: expr.OpOr,
+}
+
+// OpFor maps an operator token kind to the runtime's expression operator.
+// It is shared by the compiler and the static analyzer's constant folder.
+func OpFor(k TokKind) (expr.Op, bool) {
+	op, ok := tokToOp[k]
+	return op, ok
 }
 
 func (c *compiler) compileExpr(e ExprNode, sc *scope) (expr.Expr, error) {

@@ -193,6 +193,14 @@ func formatAction(a ActionNode) string {
 	}
 }
 
+// PatternString renders one tuple pattern in source syntax. Diagnostics
+// (the static analyzer, sdlvet) use it to echo the offending pattern.
+func PatternString(p PatternNode) string { return formatPattern(p) }
+
+// ExprString renders one expression in source syntax (parenthesized), for
+// diagnostics.
+func ExprString(e ExprNode) string { return formatExpr(e) }
+
 func formatPattern(p PatternNode) string {
 	fields := make([]string, len(p.Fields))
 	for i, f := range p.Fields {

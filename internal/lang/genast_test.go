@@ -1,193 +1,31 @@
-package lang
+package lang_test
 
 // Generative round-trip property: random well-formed ASTs must format to
 // source that re-parses to the identical formatted string. This explores
 // combinations (nested constructs, guards, quantifiers, action lists) that
-// hand-written cases and byte-level fuzzing rarely reach together.
+// hand-written cases and byte-level fuzzing rarely reach together. The
+// generator itself lives in langtest so the static analyzer's fuzz harness
+// can reuse it.
 
 import (
 	"math/rand"
 	"testing"
 
-	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/lang/langtest"
 )
-
-type astGen struct{ rng *rand.Rand }
-
-func (g *astGen) ident() string {
-	names := []string{"alpha", "beta", "k", "j", "node", "value"}
-	return names[g.rng.Intn(len(names))]
-}
-
-func (g *astGen) varName() string {
-	names := []string{"a", "b", "v", "x", "y"}
-	return names[g.rng.Intn(len(names))]
-}
-
-func (g *astGen) expr(depth int) ExprNode {
-	if depth <= 0 {
-		switch g.rng.Intn(4) {
-		case 0:
-			return &LitNode{Value: tuple.Int(int64(g.rng.Intn(100) - 50))}
-		case 1:
-			return &LitNode{Value: tuple.Bool(g.rng.Intn(2) == 0)}
-		case 2:
-			return &VarNode{Name: g.varName()}
-		default:
-			return &IdentNode{Name: g.ident()}
-		}
-	}
-	switch g.rng.Intn(6) {
-	case 0:
-		ops := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent}
-		return &BinNode{Op: ops[g.rng.Intn(len(ops))],
-			L: g.expr(depth - 1), R: g.expr(depth - 1)}
-	case 1:
-		ops := []TokKind{TokEQ, TokNE, TokLT, TokLE, TokGT, TokGE}
-		return &BinNode{Op: ops[g.rng.Intn(len(ops))],
-			L: g.expr(depth - 1), R: g.expr(depth - 1)}
-	case 2:
-		ops := []TokKind{TokAnd, TokOr}
-		return &BinNode{Op: ops[g.rng.Intn(len(ops))],
-			L: g.expr(depth - 1), R: g.expr(depth - 1)}
-	case 3:
-		if g.rng.Intn(2) == 0 {
-			return &UnNode{Op: TokNot, X: g.expr(depth - 1)}
-		}
-		return &UnNode{Op: TokMinus, X: g.expr(depth - 1)}
-	case 4:
-		return &CallNode{Name: "min", Args: []ExprNode{g.expr(depth - 1), g.expr(depth - 1)}}
-	default:
-		return g.expr(0)
-	}
-}
-
-func (g *astGen) patternNode() PatternNode {
-	n := 1 + g.rng.Intn(3)
-	fields := make([]FieldNode, n)
-	for i := range fields {
-		switch g.rng.Intn(4) {
-		case 0:
-			fields[i] = WildField{}
-		case 1:
-			fields[i] = ExprField{Expr: &VarNode{Name: g.varName()}}
-		case 2:
-			fields[i] = ExprField{Expr: &IdentNode{Name: g.ident()}}
-		default:
-			fields[i] = ExprField{Expr: g.expr(1)}
-		}
-	}
-	return PatternNode{Fields: fields}
-}
-
-func (g *astGen) txn(allowBlocking bool) *TxnNode {
-	t := &TxnNode{Tag: TagImmediate}
-	if allowBlocking {
-		t.Tag = []TagKind{TagImmediate, TagDelayed, TagConsensus}[g.rng.Intn(3)]
-	}
-	switch g.rng.Intn(3) {
-	case 0: // pattern query
-		n := 1 + g.rng.Intn(2)
-		for i := 0; i < n; i++ {
-			item := QueryItem{Pattern: g.patternNode()}
-			switch g.rng.Intn(3) {
-			case 0:
-				item.Retract = true
-			case 1:
-				item.Negated = true
-			}
-			t.Items = append(t.Items, item)
-		}
-		if g.rng.Intn(2) == 0 {
-			t.Where = g.expr(2)
-		}
-	case 1: // test-only query
-		t.Where = g.expr(2)
-	default: // empty query
-	}
-	// Actions.
-	for i := g.rng.Intn(3); i > 0; i-- {
-		switch g.rng.Intn(5) {
-		case 0:
-			t.Actions = append(t.Actions, AssertAction{Pattern: g.patternNode()})
-		case 1:
-			t.Actions = append(t.Actions, LetAction{Name: "N", Expr: g.expr(1)})
-		case 2:
-			t.Actions = append(t.Actions, ExitAction{})
-		case 3:
-			t.Actions = append(t.Actions, SkipAction{})
-		default:
-			t.Actions = append(t.Actions, AbortAction{})
-		}
-	}
-	return t
-}
-
-func (g *astGen) stmt(depth int) StmtNode {
-	if depth <= 0 || g.rng.Intn(3) == 0 {
-		return g.txn(true)
-	}
-	branches := make([]BranchNode, 1+g.rng.Intn(2))
-	for i := range branches {
-		branches[i] = BranchNode{Guard: g.txn(true)}
-		for j := g.rng.Intn(2); j > 0; j-- {
-			branches[i].Body = append(branches[i].Body, g.stmt(depth-1))
-		}
-	}
-	switch g.rng.Intn(3) {
-	case 0:
-		return &SelNode{Branches: branches}
-	case 1:
-		return &RepNode{Branches: branches}
-	default:
-		// Replication guards must be immediate for the compiler, but the
-		// formatter/parser round trip does not compile, so any tag is fine
-		// syntactically; still keep it immediate for realism.
-		for i := range branches {
-			branches[i].Guard.Tag = TagImmediate
-		}
-		return &ParNode{Branches: branches}
-	}
-}
-
-func (g *astGen) program() *Program {
-	p := &Program{}
-	for i := g.rng.Intn(3); i > 0; i-- {
-		pd := &ProcessDecl{
-			Name:   []string{"Alpha", "Beta", "Gamma"}[g.rng.Intn(3)] + string(rune('A'+g.rng.Intn(26))),
-			Params: []string{"k", "j"}[:g.rng.Intn(3)],
-		}
-		for r := g.rng.Intn(3); r > 0; r-- {
-			rule := ViewRule{Pattern: g.patternNode()}
-			if g.rng.Intn(2) == 0 {
-				rule.Where = g.expr(1)
-			}
-			pd.Imports = append(pd.Imports, rule)
-		}
-		for s := 1 + g.rng.Intn(3); s > 0; s-- {
-			pd.Body = append(pd.Body, g.stmt(2))
-		}
-		p.Processes = append(p.Processes, pd)
-	}
-	m := &MainDecl{}
-	for s := 1 + g.rng.Intn(3); s > 0; s-- {
-		m.Body = append(m.Body, g.stmt(2))
-	}
-	p.Main = m
-	return p
-}
 
 func TestGenerativeFormatParseFixpoint(t *testing.T) {
 	rng := rand.New(rand.NewSource(424242))
-	g := &astGen{rng: rng}
+	g := langtest.NewGen(rng)
 	for trial := 0; trial < 300; trial++ {
-		prog := g.program()
-		f1 := Format(prog)
-		p2, err := Parse(f1)
+		prog := g.Program()
+		f1 := lang.Format(prog)
+		p2, err := lang.Parse(f1)
 		if err != nil {
 			t.Fatalf("trial %d: formatted output does not parse: %v\n%s", trial, err, f1)
 		}
-		f2 := Format(p2)
+		f2 := lang.Format(p2)
 		if f1 != f2 {
 			t.Fatalf("trial %d: format not a fixpoint\n--- f1 ---\n%s\n--- f2 ---\n%s", trial, f1, f2)
 		}

@@ -148,7 +148,7 @@ func (p *Parser) parseViewRules() ([]ViewRule, error) {
 		if err != nil {
 			return nil, err
 		}
-		rule := ViewRule{Pattern: pat}
+		rule := ViewRule{Pattern: pat, Pos: pat.Pos}
 		if p.accept(TokWhere) {
 			e, err := p.parseExpr()
 			if err != nil {
@@ -270,7 +270,9 @@ func (p *Parser) parseTxn() (*TxnNode, error) {
 		}
 		p.next()
 		for p.at(TokIdent) || p.at(TokVar) {
-			t.DeclVars = append(t.DeclVars, p.next().Text)
+			tok := p.next()
+			t.DeclVars = append(t.DeclVars, tok.Text)
+			t.DeclVarPos = append(t.DeclVarPos, tok.Pos)
 			if !p.accept(TokComma) {
 				break
 			}
@@ -338,7 +340,7 @@ func (p *Parser) parseQueryBody(t *TxnNode) error {
 		return nil
 	}
 	for {
-		item := QueryItem{}
+		item := QueryItem{Pos: p.cur().Pos}
 		if p.accept(TokNot) {
 			item.Negated = true
 		}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit check bench sweep fuzz-smoke analyze-smoke clean
+.PHONY: all build vet test race audit check bench sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test clean
 
 all: check
 
@@ -29,8 +29,24 @@ audit:
 analyze-smoke:
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=5s -run '^$$' ./internal/analysis
 
+# The full schedule-exploration campaign: 1000+ seeds across the twelve
+# corpus programs (12 programs x 84 seeds = 1008 runs), light faults,
+# serializability-checked. Any failure prints a replayable seed.
+explore:
+	$(GO) run ./cmd/sdlexplore -seeds 84
+
+# A quick exploration pass that rides the commit gate (the full campaign
+# lives in explore).
+explore-smoke:
+	$(GO) run ./cmd/sdlexplore -seeds 3
+
+# The scheduler and exploration harness's own tests, race-enabled and run
+# twice to catch cross-run state leakage (stale globals, leaked waiters).
+sched-test:
+	$(GO) test -race -count=2 ./internal/sched/...
+
 # The verification gate: everything a commit must pass.
-check: vet build race audit analyze-smoke
+check: vet build race audit analyze-smoke sched-test explore-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout around fn, draining the pipe
+// concurrently so large outputs cannot deadlock the writer.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- string(data)
+	}()
+	runErr := fn()
+	_ = w.Close()
+	os.Stdout = old
+	return <-outCh, runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := captureStdout(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"barrier", "sum1", "micro-upsert", "micro-parallel", "micro-fair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCleanCampaign(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-seeds", "2", "-program", "micro-upsert"})
+	})
+	if err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "explored 2 runs") || !strings.Contains(out, "0 failure(s)") {
+		t.Errorf("campaign summary:\n%s", out)
+	}
+}
+
+func TestRunSingleSeedReplay(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-seed", "5", "-limit", "50", "-program", "micro-upsert"})
+	})
+	if err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok   micro-upsert seed=5 limit=50") {
+		t.Errorf("replay output:\n%s", out)
+	}
+}
+
+// TestRunBugCampaignCatchesAndReplays is the CLI-level teeth check: -bug
+// must surface a shrunk serializability failure whose printed replay pair
+// reproduces it.
+func TestRunBugCampaignCatchesAndReplays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bug campaign skipped in -short")
+	}
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-bug", "-seeds", "30", "-program", "micro-parallel", "-trace"})
+	})
+	if err == nil {
+		t.Fatalf("injected bug not caught:\n%s", out)
+	}
+	for _, want := range []string{"serializability", "shrunk to", "replay: sdlexplore -program micro-parallel -seed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bug report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-faults", "bogus"},
+		{"-mode", "bogus"},
+		{"-program", "no-such-program"},
+		{"-seed", "1", "-limit", "5"}, // -limit replay without -program
+	}
+	for i, args := range cases {
+		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

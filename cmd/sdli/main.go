@@ -18,6 +18,11 @@
 //	-stats                    print engine/runtime statistics and metrics
 //	-metrics-addr host:port   serve the metrics snapshot over HTTP while
 //	                          running (expvar, /debug/vars)
+//	-sched-seed n             install the deterministic schedule controller
+//	                          with this seed (-1 = off); replays the exact
+//	                          decision stream a failing exploration reported
+//	-sched-faults p           fault profile under -sched-seed: off, light
+//	                          (default), or heavy
 //	-watch duration           live snapshot sampling while running
 //	-svg file                 write a tuple-lifetime timeline SVG
 //	-checkpoint file          write the final dataspace to a checkpoint
@@ -47,6 +52,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/lang"
 	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/trace"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/vis"
@@ -155,6 +161,9 @@ func run(args []string) error {
 		svgPath   = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
 		restore   = fs.String("restore", "", "load a dataspace checkpoint before running")
 		ckptPath  = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
+
+		schedSeed   = fs.Int64("sched-seed", -1, "deterministic schedule-controller seed (-1 = off)")
+		schedFaults = fs.String("sched-faults", "light", "fault profile under -sched-seed: off, light, or heavy")
 	)
 	vet := &vetFlag{mode: "off"}
 	fs.Var(vet, "vet", `run the static analyzer first: "on" refuses to run on errors, "warn" reports and runs anyway`)
@@ -200,7 +209,23 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
 
-	store := dataspace.New(dataspace.WithShards(*shards))
+	var sc *sched.Controller
+	if *schedSeed >= 0 {
+		var f sched.Faults
+		switch *schedFaults {
+		case "off", "none":
+			f = sched.NoFaults()
+		case "light":
+			f = sched.Light()
+		case "heavy":
+			f = sched.Heavy()
+		default:
+			return fmt.Errorf("unknown -sched-faults profile %q (off, light, heavy)", *schedFaults)
+		}
+		sc = sched.New(uint64(*schedSeed), f)
+	}
+
+	store := dataspace.New(dataspace.WithShards(*shards), dataspace.WithScheduler(sc))
 	var rec *trace.Recorder
 	if *showTrace || *svgPath != "" {
 		rec = trace.NewRecorder(0)

@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
+	sdl "github.com/sdl-lang/sdl"
 	"github.com/sdl-lang/sdl/internal/metrics"
 )
 
@@ -257,6 +259,74 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunMetricsKeySetMatchesSystemSnapshot pins the contract between the
+// -metrics-addr expvar payload and the library's System.Snapshot(): both
+// are the same Snapshot type, so a scrape exposes exactly the keys an
+// embedding application sees. A drift (renamed or dropped JSON field)
+// breaks dashboards silently; this catches it.
+func TestRunMetricsKeySetMatchesSystemSnapshot(t *testing.T) {
+	topKeys := func(raw []byte) []string {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("payload is not a JSON object: %v\n%s", err, raw)
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	// Scrape the served endpoint after a real run.
+	path := writeProgram(t, `main -> <k, 1>; exists v: <k, ?v>! -> <k2, ?v> end`)
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-metrics-addr", "127.0.0.1:0", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bound, stop, err := serveMetrics("127.0.0.1:0", currentMetrics.Load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + bound + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	scraped, ok := vars["sdl"]
+	if !ok {
+		t.Fatalf("/debug/vars has no \"sdl\" entry:\n%.400s", body)
+	}
+
+	// The reference key set: a System's own snapshot, marshaled the same way.
+	sys := sdl.New(sdl.Options{})
+	defer sys.Close()
+	ref, err := json.Marshal(sys.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, want := topKeys(scraped), topKeys(ref)
+	if len(got) != len(want) {
+		t.Fatalf("scraped %d keys, System.Snapshot has %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("key %d: scraped %q, System.Snapshot has %q", i, got[i], want[i])
+		}
+	}
+}
+
 func TestRunMetricsBadAddr(t *testing.T) {
 	path := writeProgram(t, `main -> skip end`)
 	if _, err := captureStdout(t, func() error {
@@ -342,6 +412,47 @@ func TestRunVetCleanProgramRuns(t *testing.T) {
 	}
 	if !strings.Contains(out, "<hello, 1>") {
 		t.Errorf("program did not run under -vet:\n%s", out)
+	}
+}
+
+// schedSeedSrc has genuine concurrency (three contending incrementers) so
+// the installed controller actually draws decisions, yet a fully
+// deterministic final state.
+const schedSeedSrc = `
+process Inc()
+behavior
+  exists v: <c, ?v>! => <c, ?v + 1>
+end
+
+main
+  -> <c, 0>;
+  spawn Inc(), spawn Inc(), spawn Inc()
+end
+`
+
+func TestRunSchedSeed(t *testing.T) {
+	path := writeProgram(t, schedSeedSrc)
+	// The same seed must produce a correct run under every fault profile;
+	// the controller perturbs schedules, never outcomes.
+	for _, profile := range []string{"off", "light", "heavy"} {
+		out, err := captureStdout(t, func() error {
+			return run([]string{"-sched-seed", "42", "-sched-faults", profile, "-dump", path})
+		})
+		if err != nil {
+			t.Fatalf("profile %s: %v", profile, err)
+		}
+		if !strings.Contains(out, "<c, 3>") {
+			t.Errorf("profile %s: perturbed run corrupted the final state:\n%s", profile, out)
+		}
+	}
+}
+
+func TestRunSchedSeedBadProfile(t *testing.T) {
+	path := writeProgram(t, `main -> skip end`)
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-sched-seed", "1", "-sched-faults", "frobnicate", path})
+	}); err == nil || !strings.Contains(err.Error(), "sched-faults") {
+		t.Errorf("bad profile accepted: %v", err)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
@@ -138,6 +139,7 @@ type member struct {
 // Manager coordinates consensus transactions over one engine/store.
 type Manager struct {
 	engine *txn.Engine
+	sc     *sched.Controller // the store's exploration controller (usually nil)
 
 	mu      sync.Mutex
 	members map[tuple.ProcessID]*member
@@ -165,6 +167,7 @@ type Manager struct {
 func NewManager(engine *txn.Engine) *Manager {
 	m := &Manager{
 		engine:      engine,
+		sc:          engine.Store().Sched(),
 		members:     make(map[tuple.ProcessID]*member),
 		offers:      make(map[tuple.ProcessID]*Offer),
 		kick:        make(chan struct{}, 1),
@@ -188,6 +191,17 @@ func NewManager(engine *txn.Engine) *Manager {
 			record(inst)
 		}
 		m.pendingMu.Unlock()
+		if m.sc != nil && m.sc.DelaySignal() {
+			// Delayed-invalidation fault: the touched buckets are already in
+			// pendingKeys (above), so only the detector kick is deferred —
+			// delivery is late, never lost. The detector must tolerate
+			// learning about a commit arbitrarily after it happened.
+			go func() {
+				runtime.Gosched()
+				m.signal()
+			}()
+			return
+		}
 		m.signal()
 	})
 	m.wg.Add(1)
@@ -344,6 +358,7 @@ func (m *Manager) detector() {
 // when few processes are at their consensus statements, this makes the
 // per-commit detection cost proportional to the offers, not the society.
 func (m *Manager) evaluateOnce() bool {
+	m.sc.Yield(sched.PointConsensusEval)
 	m.attempts.Add(1)
 	m.engine.Metrics().IncConsensusRound()
 
@@ -375,6 +390,15 @@ func (m *Manager) evaluateOnce() bool {
 	}
 
 	groups := m.candidateGroups(members, offering, idle)
+	if perm := m.sc.Perm(sched.PointConsensusEval, len(groups)); perm != nil {
+		// The attempt order over ready groups is unspecified (each group is
+		// an independent consensus set); explore permutations of it.
+		permuted := make([][]tuple.ProcessID, len(groups))
+		for i, j := range perm {
+			permuted[i] = groups[j]
+		}
+		groups = permuted
+	}
 	for _, g := range groups {
 		if m.tryFire(g, offers) {
 			return true
@@ -590,6 +614,17 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 			reg.ObserveTxnLatency(metrics.TxnConsensus, time.Since(start))
 		}
 	}()
+	if perm := m.sc.Perm(sched.PointConsensusClaim, len(set)); perm != nil {
+		// Claim (and therefore phase-1 evaluation) order within a set is
+		// unspecified: participants hide the instances they retract from
+		// later participants, and any claiming order must yield a consistent
+		// composite. Explore permutations of it.
+		permuted := make([]tuple.ProcessID, len(set))
+		for i, j := range perm {
+			permuted[i] = set[j]
+		}
+		set = permuted
+	}
 	claimed := make([]*Offer, 0, len(set))
 	revert := func() {
 		for _, o := range claimed {
@@ -607,6 +642,9 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 
 	results := make([]txn.Result, len(claimed))
 	chosen := make([]int, len(claimed))
+	// The window between claiming and committing is where withdrawals and
+	// cancellations race a firing attempt; stretch it.
+	m.sc.Yield(sched.PointConsensusClaim)
 	err := m.engine.Store().Update(tuple.Environment, func(w dataspace.Writer) error {
 		hidden := make(map[tuple.ID]struct{})
 		type planned struct {
@@ -702,11 +740,23 @@ func (m *Manager) tryFire(set []tuple.ProcessID, offers map[tuple.ProcessID]*Off
 	m.fires.Add(1)
 	reg.IncTxnCommit(metrics.TxnConsensus)
 	reg.ObserveCommunity(len(claimed))
-	for i, o := range claimed {
+	// Resolution order across participants is unspecified (the composite is
+	// already committed); explore permutations and stretch the gaps so some
+	// participants resume long before others learn their offer fired.
+	order := m.sc.Perm(sched.PointConsensusResolve, len(claimed))
+	if order == nil {
+		order = make([]int, len(claimed))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, i := range order {
+		o := claimed[i]
 		o.res = results[i]
 		o.chosen = chosen[i]
 		o.state.Store(int32(stateFired))
 		close(o.done)
+		m.sc.Yield(sched.PointConsensusResolve)
 	}
 	return true
 }

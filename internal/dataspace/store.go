@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 
 	"github.com/sdl-lang/sdl/internal/metrics"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 )
 
@@ -174,6 +175,7 @@ type Store struct {
 	all    shardSet // every shard index, for the full-lock paths
 
 	metrics *metrics.Registry
+	sc      *sched.Controller // nil unless schedule exploration is on
 
 	broadWake atomic.Bool
 	onCommit  []CommitHook
@@ -184,6 +186,7 @@ type Option func(*storeConfig)
 
 type storeConfig struct {
 	shards int
+	sc     *sched.Controller
 }
 
 // WithShards sets the shard count. Values are rounded up to a power of two
@@ -191,6 +194,15 @@ type storeConfig struct {
 // (GOMAXPROCS-scaled).
 func WithShards(n int) Option {
 	return func(c *storeConfig) { c.shards = n }
+}
+
+// WithScheduler installs a deterministic schedule-exploration controller.
+// The store, and every component layered over it (transaction engine,
+// consensus manager, process runtime — they discover the controller via
+// Sched), then consults the controller at its decision points. A nil
+// controller (the default) keeps every hook a no-op.
+func WithScheduler(sc *sched.Controller) Option {
+	return func(c *storeConfig) { c.sc = sc }
 }
 
 func defaultShardCount() int {
@@ -255,6 +267,7 @@ func New(opts ...Option) *Store {
 		shards:  make([]*shard, n),
 		mask:    uint32(n - 1),
 		metrics: metrics.NewRegistry(n),
+		sc:      cfg.sc,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -274,6 +287,11 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // every component layered over the store (transaction engine, consensus
 // manager, process runtime), so it aggregates the whole system's activity.
 func (s *Store) Metrics() *metrics.Registry { return s.metrics }
+
+// Sched returns the schedule-exploration controller, or nil when none is
+// installed. Components layered over the store call it once at construction
+// and keep the (possibly nil) controller for their own decision points.
+func (s *Store) Sched() *sched.Controller { return s.sc }
 
 // shardIndex hashes an index key onto a shard: FNV-1a accumulation over
 // the key's canonical fields, then a full-avalanche finalizer so that
@@ -330,6 +348,7 @@ func (s *Store) planShards(keys []InterestKey) shardSet {
 
 func (s *Store) rlockSet(ss *shardSet) {
 	ss.forEach(func(i uint32) bool {
+		s.sc.Yield(sched.PointLockShard)
 		s.shards[i].mu.RLock()
 		s.metrics.IncShardRead(i)
 		return true
@@ -342,6 +361,7 @@ func (s *Store) runlockSet(ss *shardSet) {
 
 func (s *Store) lockSet(ss *shardSet) {
 	ss.forEach(func(i uint32) bool {
+		s.sc.Yield(sched.PointLockShard)
 		s.shards[i].mu.Lock()
 		s.metrics.IncShardWrite(i)
 		return true
@@ -452,6 +472,13 @@ func (s *Store) UpdateKeys(owner tuple.ProcessID, keys []InterestKey, fn func(w 
 
 func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) error {
 	s.lockSet(&ss)
+	if s.sc != nil {
+		// Contention spike: widen the critical section while the shard
+		// locks are held, so other commits pile up behind this footprint.
+		for n := s.sc.LockSpike(); n > 0; n-- {
+			runtime.Gosched()
+		}
+	}
 	if s.metrics.Observed() {
 		s.metrics.ObserveFootprint(ss.count())
 	}
@@ -473,7 +500,7 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 			s.shards[si].retracts++
 		}
 		rec = CommitRecord{
-			Version:  s.version.Add(1),
+			Version:  s.allocVersion(),
 			Owner:    owner,
 			Inserted: w.inserted,
 			Deleted:  w.deleted,
@@ -487,6 +514,28 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 		s.notify(rec, w)
 	}
 	return nil
+}
+
+// allocVersion claims the commit's serialization position. Normally a
+// single atomic add — correct even though commits with disjoint shard
+// footprints allocate concurrently. When the exploration controller's
+// RacyVersionBug fault fires, the allocation instead runs a deliberate
+// load-yield-store race: two concurrent disjoint-footprint commits can both
+// observe the same version and claim the same slot, corrupting the
+// serialization witness the refmodel replay checks. This is the harness's
+// "teeth" bug (ISSUE 4): it exists only to prove exploration detects and
+// shrinks real ordering violations. The fault cannot fire without an
+// installed controller whose RacyVersionBug probability is nonzero.
+func (s *Store) allocVersion() uint64 {
+	if s.sc != nil && s.sc.RacyVersion() {
+		v := s.version.Load() + 1
+		for i := 0; i < 64; i++ {
+			runtime.Gosched()
+		}
+		s.version.Store(v)
+		return v
+	}
+	return s.version.Add(1)
 }
 
 // Version returns the current configuration version.

@@ -3,6 +3,7 @@ package dataspace
 import (
 	"sync"
 
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 )
 
@@ -145,6 +146,7 @@ func (s *Store) SetBroadWakeups(broad bool) {
 // that may block: any commit after registration fires the channel, so a
 // change racing with the evaluation is never missed.
 func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
+	s.sc.Yield(sched.PointWaiterRegister)
 	w := &waiter{ch: make(chan struct{})}
 	s.metrics.WaiterDepth().Inc()
 	type keyReg struct {
@@ -209,8 +211,26 @@ func (s *Store) notify(rec CommitRecord, w *writer) {
 			fired = s.shards[w.delShard[i]].waiters.collect(inst, fired)
 		}
 	}
+	if s.sc != nil && s.sc.SpuriousWakeup() {
+		// Spurious-wakeup fault: also wake every registered waiter, matched
+		// or not. Woken delayed transactions re-evaluate and, finding their
+		// query still unsatisfied, re-register and block again — the
+		// register-before-evaluate protocol makes this safe, and exploration
+		// verifies it stays safe.
+		for _, sh := range s.shards {
+			fired = sh.waiters.collectAll(fired)
+		}
+	}
 	if s.metrics.Observed() {
 		s.metrics.ObserveWakeupFanout(len(fired))
+	}
+	if perm := s.sc.Perm(sched.PointWakeupDispatch, len(fired)); perm != nil {
+		// Dispatch-order perturbation: fire is idempotent and duplicate
+		// waiters are possible in fired, so permuting indexes is safe.
+		for _, i := range perm {
+			fired[i].fire()
+		}
+		return
 	}
 	for _, wt := range fired {
 		wt.fire()

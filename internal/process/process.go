@@ -22,6 +22,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/consensus"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/metrics"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
@@ -65,6 +66,7 @@ type Definition struct {
 type Runtime struct {
 	engine *txn.Engine
 	cons   *consensus.Manager
+	sc     *sched.Controller // the store's exploration controller (usually nil)
 
 	defsMu sync.RWMutex
 	defs   map[string]*Definition
@@ -96,6 +98,7 @@ func NewRuntime(engine *txn.Engine, cons *consensus.Manager) *Runtime {
 	return &Runtime{
 		engine: engine,
 		cons:   cons,
+		sc:     engine.Store().Sched(),
 		defs:   make(map[string]*Definition),
 		live:   make(map[tuple.ProcessID]*proc),
 		ctx:    ctx,
@@ -192,7 +195,17 @@ func (rt *Runtime) SpawnGroup(reqs []SpawnReq) ([]tuple.ProcessID, error) {
 		pids[i] = p.pid
 		rt.cons.Register(p.pid, p.view, p.env)
 	}
-	for _, p := range procs {
+	start := procs
+	if perm := rt.sc.Perm(sched.PointProcSpawn, len(procs)); perm != nil {
+		// Start order within a group is unspecified (registration above is
+		// what carries the atomicity guarantee); explore permutations of it.
+		// pids keeps the request order regardless.
+		start = make([]*proc, len(procs))
+		for i, j := range perm {
+			start[i] = procs[j]
+		}
+	}
+	for _, p := range start {
 		rt.running.Add(1)
 		rt.spawned.Add(1)
 		rt.wg.Add(1)

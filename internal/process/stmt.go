@@ -7,6 +7,7 @@ import (
 
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
@@ -170,6 +171,7 @@ func (p *proc) runSeq(ctx context.Context, stmts []Stmt) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		p.rt.sc.Yield(sched.PointProcStep)
 		if err := p.runStmt(ctx, s); err != nil {
 			return err
 		}

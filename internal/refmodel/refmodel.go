@@ -254,6 +254,42 @@ func (m *Model) ApplyEffects(deleted, inserted []dataspace.Instance) error {
 	return nil
 }
 
+// Replay re-executes a commit log serially, in version order, against a
+// fresh model. The records must arrive sorted by version (trace.CommitLog
+// returns them that way) and their versions must form the gap-free
+// sequence 1..n — a duplicate or missing version means two commits claimed
+// the same serialization position, so no serial order exists. Each record's
+// effects then replay verbatim through ApplyEffects; any reference to an
+// instance the serial history would not contain proves the concurrent
+// execution was not equivalent to its commit order. The schedule
+// exploration harness runs this after every explored seed.
+func Replay(recs []dataspace.CommitRecord) (*Model, error) {
+	m := &Model{}
+	for i, rec := range recs {
+		if rec.Version != uint64(i+1) {
+			return nil, fmt.Errorf("refmodel: commit %d has version %d, want %d (duplicate or missing serialization position)",
+				i, rec.Version, i+1)
+		}
+		if err := m.ApplyEffects(rec.Deleted, rec.Inserted); err != nil {
+			return nil, fmt.Errorf("refmodel: replaying version %d: %w", rec.Version, err)
+		}
+	}
+	return m, nil
+}
+
+// SameMultiset reports whether two content multisets are equal.
+func SameMultiset(a, b map[uint64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, n := range a {
+		if b[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // Multiset returns the content multiset (hash → count), ignoring instance
 // identity — the right equality notion for differential tests, since the
 // production engine and the model allocate IDs differently once their

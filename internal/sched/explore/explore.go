@@ -1,0 +1,321 @@
+// Package explore drives the SDL runtime through adversarial schedules and
+// checks every run against the reference semantics.
+//
+// For each (program, seed) pair it assembles a fresh system — store,
+// transaction engine, consensus manager, process runtime — with a
+// deterministic sched.Controller installed, runs the program to
+// completion, and then verifies:
+//
+//   - serializability: the commit log's versions form the gap-free
+//     sequence 1..n and replay cleanly through refmodel (every retraction
+//     references an instance the equivalent serial history contains);
+//   - state equivalence: the serial replay's final content multiset equals
+//     the store's actual final contents;
+//   - all-or-nothing consensus: every commit inserting a community's
+//     marker tuples inserts the whole community's worth, never a partial
+//     fire;
+//   - the program's own final-state invariant.
+//
+// A failing seed is shrunk (Shrink) to the smallest active-decision budget
+// that still fails, giving a minimal perturbation prefix to replay with
+// `sdlexplore -seed N -limit L` (or `sdli -sched-seed N`).
+package explore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/dataspace"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/refmodel"
+	"github.com/sdl-lang/sdl/internal/sched"
+	"github.com/sdl-lang/sdl/internal/trace"
+	"github.com/sdl-lang/sdl/internal/tuple"
+	"github.com/sdl-lang/sdl/internal/txn"
+)
+
+// Options configures an exploration campaign.
+type Options struct {
+	// Seeds is the number of seeds to explore per program (default 100).
+	Seeds int
+	// StartSeed is the first seed (campaigns partition the seed space by
+	// starting at different offsets).
+	StartSeed uint64
+	// Faults is the perturbation profile (zero = schedule decisions are
+	// drawn but no faults fire).
+	Faults sched.Faults
+	// Shards fixes the store's shard count; 0 derives it from the seed
+	// (1, 2, 4, or 8 — reproducible, since it is a pure function of seed).
+	Shards int
+	// Mode fixes the concurrency-control mode; 0 derives it from the seed.
+	Mode txn.Mode
+	// Timeout bounds one run (default 30s; runs normally take
+	// milliseconds, so hitting it is itself a liveness failure).
+	Timeout time.Duration
+	// Programs selects the corpus (nil = Corpus()).
+	Programs []Program
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+	// MaxFailures stops the campaign early after this many failures
+	// (0 = collect them all).
+	MaxFailures int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 100
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Programs == nil {
+		o.Programs = Corpus()
+	}
+	return o
+}
+
+// configFor derives the per-seed system configuration. Both knobs are pure
+// functions of the seed, so a reported seed reproduces its configuration.
+func configFor(seed uint64, o Options) (shards int, mode txn.Mode) {
+	h := sched.Decide(seed, sched.NumPoints-1, 0x5eed)
+	shards = o.Shards
+	if shards == 0 {
+		shards = 1 << (h % 4) // 1, 2, 4, 8
+	}
+	mode = o.Mode
+	if mode == 0 {
+		if h&(1<<16) != 0 {
+			mode = txn.Optimistic
+		} else {
+			mode = txn.Coarse
+		}
+	}
+	return shards, mode
+}
+
+// Failure describes one failing (program, seed) pair.
+type Failure struct {
+	Program string
+	Seed    uint64
+	Shards  int
+	Mode    txn.Mode
+	Err     error
+	// Decisions is the number of decisions the failing run drew.
+	Decisions int64
+	// MinLimit is the smallest active-decision budget that still fails
+	// (-1 until Shrink has run).
+	MinLimit int64
+	// Trace is the active decision prefix of the shrunk failing run.
+	Trace []sched.Decision
+}
+
+func (f Failure) String() string {
+	s := fmt.Sprintf("%s: seed %d (shards=%d mode=%s): %v", f.Program, f.Seed, f.Shards, f.Mode, f.Err)
+	if f.MinLimit >= 0 {
+		s += fmt.Sprintf("\n  shrunk to %d active decisions (of %d drawn); replay: sdlexplore -program %s -seed %d -limit %d",
+			f.MinLimit, f.Decisions, f.Program, f.Seed, f.MinLimit)
+		if sum := sched.TraceSummary(f.Trace); sum != "" {
+			s += "\n  decisions: " + sum
+		}
+	}
+	return s
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Runs     int
+	Programs int
+	Failures []Failure
+}
+
+// Run explores opts.Seeds seeds per corpus program. Every failing seed is
+// shrunk before being reported.
+func Run(opts Options) Report {
+	opts = opts.withDefaults()
+	rep := Report{Programs: len(opts.Programs)}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for _, p := range opts.Programs {
+		failed := 0
+		for i := 0; i < opts.Seeds; i++ {
+			seed := opts.StartSeed + uint64(i)
+			decisions, _, err := runOnce(p, seed, -1, false, opts)
+			rep.Runs++
+			if err == nil {
+				continue
+			}
+			failed++
+			shards, mode := configFor(seed, opts)
+			f := Failure{Program: p.Name, Seed: seed, Shards: shards, Mode: mode,
+				Err: err, Decisions: decisions, MinLimit: -1}
+			logf("FAIL %s seed=%d: %v (shrinking...)", p.Name, seed, err)
+			f = Shrink(p, f, opts)
+			rep.Failures = append(rep.Failures, f)
+			if opts.MaxFailures > 0 && len(rep.Failures) >= opts.MaxFailures {
+				return rep
+			}
+		}
+		if failed == 0 {
+			logf("%-16s %d seeds ok (%d..%d)", p.Name, opts.Seeds, opts.StartSeed, opts.StartSeed+uint64(opts.Seeds)-1)
+		} else {
+			logf("%-16s %d/%d seeds FAILED (%d..%d)", p.Name, failed, opts.Seeds, opts.StartSeed, opts.StartSeed+uint64(opts.Seeds)-1)
+		}
+	}
+	return rep
+}
+
+// RunSeed runs one (program, seed) pair with full verification. limit
+// bounds the active decisions (< 0 = unlimited). It returns the number of
+// decisions the run drew.
+func RunSeed(p Program, seed uint64, limit int64, opts Options) (int64, error) {
+	opts = opts.withDefaults()
+	decisions, _, err := runOnce(p, seed, limit, false, opts)
+	return decisions, err
+}
+
+// runOnce assembles a fresh system under a seed-deterministic controller,
+// runs the program, and verifies the run.
+func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (int64, []sched.Decision, error) {
+	shards, mode := configFor(seed, opts)
+	c := sched.New(seed, opts.Faults)
+	if limit >= 0 {
+		c.SetLimit(limit)
+	}
+	if traced {
+		c.EnableTrace(0)
+	}
+	store := dataspace.New(dataspace.WithShards(shards), dataspace.WithScheduler(c))
+	clog := trace.NewCommitLog()
+	clog.Attach(store)
+	engine := txn.New(store, mode)
+	rt := process.NewRuntime(engine, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	runErr := lang.LoadAndRun(ctx, rt, p.Src)
+	cancel()
+	rt.Shutdown()
+	rt.Consensus().Close()
+
+	var tr []sched.Decision
+	if traced {
+		tr = c.Trace()
+	}
+	if runErr != nil {
+		return c.Decisions(), tr, fmt.Errorf("run: %w", runErr)
+	}
+	return c.Decisions(), tr, verify(p, store, clog)
+}
+
+// verify runs the post-run checks described in the package comment.
+func verify(p Program, store *dataspace.Store, clog *trace.CommitLog) error {
+	recs := clog.Commits()
+	model, err := refmodel.Replay(recs)
+	if err != nil {
+		return fmt.Errorf("serializability: %w", err)
+	}
+	if got, want := refmodel.MultisetOf(store), model.Multiset(); !refmodel.SameMultiset(got, want) {
+		return fmt.Errorf("final state diverges from the serial replay of the commit log (store %d distinct, replay %d distinct)",
+			len(got), len(want))
+	}
+	if p.MarkerLead != "" {
+		for _, rec := range recs {
+			n := 0
+			for _, inst := range rec.Inserted {
+				if isMarker(inst.Tuple, p.MarkerLead) {
+					n++
+				}
+			}
+			if n != 0 && n != p.MarkerCount {
+				return fmt.Errorf("consensus fired partially: commit v%d inserts %d %q markers, want %d (all-or-nothing)",
+					rec.Version, n, p.MarkerLead, p.MarkerCount)
+			}
+		}
+	}
+	if p.Check != nil {
+		final := make([]tuple.Tuple, 0, store.Len())
+		for _, inst := range store.All() {
+			final = append(final, inst.Tuple)
+		}
+		if err := p.Check(final); err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+	}
+	return nil
+}
+
+func isMarker(t tuple.Tuple, lead string) bool {
+	if t.Arity() == 0 {
+		return false
+	}
+	a, ok := t.Field(0).AsAtom()
+	return ok && a == lead
+}
+
+// shrinkAttempts is how many runs may vote on whether a budget still
+// fails: the decision stream is deterministic, but the goroutine schedule
+// consuming it is not, so a budget's failure is re-tried a few times
+// before it is declared passing.
+const shrinkAttempts = 4
+
+// Shrink minimizes a failing seed's active-decision budget: decisions
+// beyond the budget return "no perturbation", so the smallest failing
+// budget is the minimal perturbation prefix that still triggers the
+// failure. Binary search over the budget, with retries at each probe
+// (see shrinkAttempts). The shrunk failure carries the failing prefix's
+// decision trace.
+func Shrink(p Program, f Failure, opts Options) Failure {
+	opts = opts.withDefaults()
+	fails := func(limit int64) (int64, []sched.Decision, error) {
+		var (
+			lastTrace []sched.Decision
+			lastDec   int64
+		)
+		for a := 0; a < shrinkAttempts; a++ {
+			dec, tr, err := runOnce(p, f.Seed, limit, true, opts)
+			if err != nil {
+				return dec, tr, err
+			}
+			lastDec, lastTrace = dec, tr
+		}
+		return lastDec, lastTrace, nil
+	}
+
+	// The failure was observed with an unlimited budget; bound the search
+	// by the decisions that run drew.
+	lo, hi := int64(0), f.Decisions
+	if _, _, err := fails(hi); err == nil {
+		// The failure did not reproduce even unshrunk; report it as-is.
+		return f
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if _, _, err := fails(mid); err != nil {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Final confirmation at the minimal budget; keep its trace and error.
+	dec, tr, err := fails(lo)
+	if err == nil {
+		// Noise at the boundary: fall back to the full budget.
+		lo = f.Decisions
+		dec, tr, err = fails(lo)
+		if err == nil {
+			return f
+		}
+	}
+	f.MinLimit = lo
+	f.Err = err
+	// Decision counts vary slightly run to run (retries draw extra);
+	// keep the largest observed so MinLimit <= Decisions always holds.
+	if dec > f.Decisions {
+		f.Decisions = dec
+	}
+	f.Trace = tr
+	return f
+}

@@ -1,0 +1,47 @@
+package explore
+
+import (
+	"testing"
+	"time"
+
+	"github.com/sdl-lang/sdl/internal/sched"
+)
+
+// fairnessStepBound caps the scheduler decisions one micro-fair run may
+// draw. The program issues a handful of transactions; even under the heavy
+// fault profile (spurious wakeups forcing the Waiter to re-evaluate) a run
+// stays in the hundreds of decisions. Hitting the bound would mean the
+// indefinitely-enabled delayed transaction is being starved — a weak-
+// fairness violation (paper §2: a transaction that remains enabled is
+// eventually executed).
+const fairnessStepBound = 50_000
+
+// TestWeakFairnessUnderExploration pins the paper's weak-fairness claim:
+// the Waiter's delayed transaction is enabled in the initial configuration
+// and nothing ever disables it, so under EVERY explored schedule — heavy
+// yields, spurious wakeups, delayed consensus signals, forced retries —
+// it must commit (the corpus check demands <done, 1> in the final state)
+// within a bounded number of scheduler steps.
+func TestWeakFairnessUnderExploration(t *testing.T) {
+	p, ok := Find("micro-fair")
+	if !ok {
+		t.Fatal("micro-fair missing")
+	}
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	opts := Options{Faults: sched.Heavy(), Timeout: time.Minute}
+	for i := 0; i < seeds; i++ {
+		seed := uint64(2000 + i)
+		decisions, err := RunSeed(p, seed, -1, opts)
+		if err != nil {
+			t.Errorf("seed %d: delayed transaction did not commit: %v", seed, err)
+			continue
+		}
+		if decisions > fairnessStepBound {
+			t.Errorf("seed %d: run drew %d scheduler decisions (bound %d) — starvation suspected",
+				seed, decisions, fairnessStepBound)
+		}
+	}
+}

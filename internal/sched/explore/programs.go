@@ -1,0 +1,311 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Program is one exploration subject: an SDL source plus the invariants a
+// run must satisfy on top of the universal serializability checks.
+type Program struct {
+	// Name identifies the program in reports and -program selectors.
+	Name string
+	// Src is the SDL source.
+	Src string
+	// Check validates the final dataspace contents (nil = no content check
+	// beyond the refmodel multiset comparison).
+	Check func(final []tuple.Tuple) error
+	// MarkerLead and MarkerCount configure the all-or-nothing consensus
+	// check: every commit inserting any tuple whose leading field is the
+	// atom MarkerLead must insert exactly MarkerCount of them — the
+	// composite fire of a whole community, never a partial one. Empty
+	// MarkerLead disables the check.
+	MarkerLead  string
+	MarkerCount int
+}
+
+// exact returns a Check asserting the final contents equal want, a
+// multiset keyed by the tuple rendering (e.g. "<ready, 3>" → 1).
+func exact(want map[string]int) func(final []tuple.Tuple) error {
+	return func(final []tuple.Tuple) error {
+		got := make(map[string]int, len(final))
+		for _, t := range final {
+			got[t.String()]++
+		}
+		for k, n := range want {
+			if got[k] != n {
+				return fmt.Errorf("final state has %d of %s, want %d%s", got[k], k, n, diffSuffix(got, want))
+			}
+		}
+		for k := range got {
+			if want[k] == 0 {
+				return fmt.Errorf("final state has unexpected %s%s", k, diffSuffix(got, want))
+			}
+		}
+		return nil
+	}
+}
+
+func diffSuffix(got, want map[string]int) string {
+	render := func(m map[string]int) string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, fmt.Sprintf("%s×%d", k, m[k]))
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, " ")
+	}
+	return fmt.Sprintf("\n  got:  %s\n  want: %s", render(got), render(want))
+}
+
+// exampleDir locates examples/sdl relative to this source file, so the
+// corpus works from any test or binary working directory within the repo.
+func exampleDir() string {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		return filepath.Join("examples", "sdl")
+	}
+	return filepath.Join(filepath.Dir(self), "..", "..", "..", "examples", "sdl")
+}
+
+func mustRead(name string) string {
+	data, err := os.ReadFile(filepath.Join(exampleDir(), name))
+	if err != nil {
+		panic(fmt.Sprintf("explore: corpus program %s: %v", name, err))
+	}
+	return string(data)
+}
+
+// Micro-programs: targeted stressors for the retract, consensus, and
+// parallel-commit paths, with fully deterministic final states.
+const (
+	// microUpsertSrc contends on one counter bucket: three processes each
+	// perform three retract-and-reassert increments of the same tuple. Any
+	// lost update (the classic optimistic-validation bug) shows up as a
+	// final count below 9.
+	microUpsertSrc = `
+process Inc()
+behavior
+  exists v: <c, ?v>! => <c, ?v + 1>;
+  exists v: <c, ?v>! => <c, ?v + 1>;
+  exists v: <c, ?v>! => <c, ?v + 1>
+end
+
+main
+  -> <c, 0>;
+  spawn Inc(), spawn Inc(), spawn Inc()
+end
+`
+
+	// microTransferSrc moves value around a three-account cycle; each hop
+	// retracts both balances and reasserts them atomically. Conservation
+	// (and the guard ?a > 0, which forces movers to block on depleted
+	// sources) pins the atomicity of two-retract transactions.
+	microTransferSrc = `
+process Mover(src, dst)
+behavior
+  exists a, b: <acct, src, ?a>!, <acct, dst, ?b>! where ?a > 0 => <acct, src, ?a - 1>, <acct, dst, ?b + 1>;
+  exists a, b: <acct, src, ?a>!, <acct, dst, ?b>! where ?a > 0 => <acct, src, ?a - 1>, <acct, dst, ?b + 1>;
+  exists a, b: <acct, src, ?a>!, <acct, dst, ?b>! where ?a > 0 => <acct, src, ?a - 1>, <acct, dst, ?b + 1>
+end
+
+main
+  -> <acct, 1, 3>, <acct, 2, 3>, <acct, 3, 3>;
+  spawn Mover(1, 2), spawn Mover(2, 3), spawn Mover(3, 1)
+end
+`
+
+	// microConsensusSrc builds two disjoint three-member communities
+	// (param-restricted imports over distinct leads) whose consensus fires
+	// assert per-member <fired, g, id> markers — the all-or-nothing check
+	// demands each firing commit carries exactly three.
+	microConsensusSrc = `
+process Member(g, id)
+import <g, *>
+behavior
+  -> <g, id>;
+  <g, 1>, <g, 2>, <g, 3> @> <fired, g, id>
+end
+
+main
+  spawn Member(1, 1), spawn Member(1, 2), spawn Member(1, 3),
+  spawn Member(2, 1), spawn Member(2, 2), spawn Member(2, 3)
+end
+`
+
+	// microParallelSrc commits from six processes into six distinct index
+	// buckets, so with several shards the commits run concurrently with
+	// disjoint footprints — the workload that exposes the injected
+	// racy-version ordering bug as duplicate serialization positions.
+	microParallelSrc = `
+process Put(k)
+behavior
+  -> <k, 1>; -> <k, 2>; -> <k, 3>; -> <k, 4>
+end
+
+main
+  spawn Put(1), spawn Put(2), spawn Put(3), spawn Put(4), spawn Put(5), spawn Put(6)
+end
+`
+
+	// microFairSrc pins weak fairness: the Waiter's delayed transaction is
+	// enabled from the first configuration and stays enabled (nothing
+	// retracts <go, 1>), so under every explored schedule — spurious
+	// wakeups, delayed signals, and all — it must commit.
+	microFairSrc = `
+process Waiter()
+behavior
+  <go, 1> => <done, 1>
+end
+
+process Noise(k)
+behavior
+  -> <n, k>;
+  -> <n, k + 100>
+end
+
+main
+  -> <go, 1>;
+  spawn Waiter(), spawn Noise(1), spawn Noise(2)
+end
+`
+)
+
+// Corpus returns the exploration corpus: the seven examples/sdl programs
+// plus the targeted micro-programs, each with its final-state invariant.
+func Corpus() []Program {
+	phil := map[string]int{}
+	for id := 1; id <= 5; id++ {
+		phil[fmt.Sprintf("<meal, %d>", id)] = 3
+		phil[fmt.Sprintf("<fork, %d>", id)] = 1
+	}
+	return []Program{
+		{
+			Name: "barrier",
+			Src:  mustRead("barrier.sdl"),
+			Check: exact(map[string]int{
+				"<seed, 0>": 1,
+				"<ready, 1>": 1, "<ready, 2>": 1, "<ready, 3>": 1,
+				"<passed, 1>": 1, "<passed, 2>": 1, "<passed, 3>": 1,
+			}),
+			MarkerLead:  "passed",
+			MarkerCount: 3,
+		},
+		{
+			Name: "pairing",
+			Src:  mustRead("pairing.sdl"),
+			Check: exact(map[string]int{
+				"<paired, 2>": 1, "<paired, 5>": 1, "<paired, 9>": 1,
+			}),
+		},
+		{
+			Name:  "philosophers",
+			Src:   mustRead("philosophers.sdl"),
+			Check: exact(phil),
+		},
+		{
+			Name: "proplist",
+			Src:  mustRead("proplist.sdl"),
+			Check: exact(map[string]int{
+				"<1, color, 7, 2>":      1,
+				"<2, size, 42, 3>":      1,
+				"<3, weight, 99, nil>":  1,
+				"<found_fast, size, 42>": 1,
+				"<result, weight, 99>":   1,
+			}),
+		},
+		{
+			Name: "sort",
+			Src:  mustRead("sort.sdl"),
+			Check: exact(map[string]int{
+				"<1, alpha, 10, 2>":   1,
+				"<2, beta, 20, 3>":    1,
+				"<3, gamma, 30, 4>":   1,
+				"<4, delta, 40, nil>": 1,
+			}),
+		},
+		{
+			Name:  "sum1",
+			Src:   mustRead("sum1.sdl"),
+			Check: exact(map[string]int{"<8, 36>": 1}),
+		},
+		{
+			Name: "sum3",
+			Src:  mustRead("sum3.sdl"),
+			// The surviving lead is schedule-dependent (the last pair
+			// combined); only the count and the total are invariant.
+			Check: func(final []tuple.Tuple) error {
+				if len(final) != 1 {
+					return fmt.Errorf("final state has %d tuples, want 1: %v", len(final), final)
+				}
+				t := final[0]
+				if t.Arity() != 2 {
+					return fmt.Errorf("final tuple %s has arity %d, want 2", t, t.Arity())
+				}
+				if n, ok := t.Field(1).Numeric(); !ok || n != 360 {
+					return fmt.Errorf("final tuple %s does not total 360", t)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "micro-upsert",
+			Src:   microUpsertSrc,
+			Check: exact(map[string]int{"<c, 9>": 1}),
+		},
+		{
+			Name: "micro-transfer",
+			Src:  microTransferSrc,
+			// Each account sends 3 and receives 3; balances return to 3.
+			Check: exact(map[string]int{
+				"<acct, 1, 3>": 1, "<acct, 2, 3>": 1, "<acct, 3, 3>": 1,
+			}),
+		},
+		{
+			Name: "micro-consensus",
+			Src:  microConsensusSrc,
+			Check: exact(map[string]int{
+				"<1, 1>": 1, "<1, 2>": 1, "<1, 3>": 1,
+				"<2, 1>": 1, "<2, 2>": 1, "<2, 3>": 1,
+				"<fired, 1, 1>": 1, "<fired, 1, 2>": 1, "<fired, 1, 3>": 1,
+				"<fired, 2, 1>": 1, "<fired, 2, 2>": 1, "<fired, 2, 3>": 1,
+			}),
+			MarkerLead:  "fired",
+			MarkerCount: 3,
+		},
+		{
+			Name: "micro-parallel",
+			Src:  microParallelSrc,
+			Check: func(final []tuple.Tuple) error {
+				if len(final) != 24 {
+					return fmt.Errorf("final state has %d tuples, want 24", len(final))
+				}
+				return nil
+			},
+		},
+		{
+			Name: "micro-fair",
+			Src:  microFairSrc,
+			Check: exact(map[string]int{
+				"<go, 1>": 1, "<done, 1>": 1,
+				"<n, 1>": 1, "<n, 101>": 1, "<n, 2>": 1, "<n, 102>": 1,
+			}),
+		},
+	}
+}
+
+// Find returns the corpus program with the given name.
+func Find(name string) (Program, bool) {
+	for _, p := range Corpus() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}

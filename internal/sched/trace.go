@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTrace renders a decision stream compactly, one decision per line,
+// as "point#seq=value". Intended for failure reports: together with the
+// seed it pins down exactly which perturbations fired.
+func FormatTrace(ds []Decision) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintf(&b, "%s#%d=%x\n", d.Point, d.Seq, d.Value)
+	}
+	return b.String()
+}
+
+// TraceSummary counts decisions per point: "txn-exec:12 lock-shard:40 ...".
+// Cheaper to print than a full trace and usually enough to see where a
+// failing schedule spent its decisions.
+func TraceSummary(ds []Decision) string {
+	var counts [NumPoints]int
+	for _, d := range ds {
+		if d.Point < NumPoints {
+			counts[d.Point]++
+		}
+	}
+	var parts []string
+	for p := Point(0); p < NumPoints; p++ {
+		if counts[p] > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", p, counts[p]))
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -49,7 +49,7 @@ func TestBankTransferStress(t *testing.T) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				rng := rand.New(rand.NewSource(int64(w)))
+				rng := rand.New(rand.NewSource(testSeed(int64(w))))
 				for i := 0; i < transfer; i++ {
 					from := rng.Int63n(accounts)
 					to := rng.Int63n(accounts)
@@ -153,7 +153,7 @@ func TestMixedWorkloadAccounting(t *testing.T) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				rng := rand.New(rand.NewSource(int64(100 + w)))
+				rng := rand.New(rand.NewSource(testSeed(int64(100 + w))))
 				for i := 0; i < ops; i++ {
 					switch rng.Intn(3) {
 					case 0: // assert

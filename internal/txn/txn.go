@@ -35,6 +35,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/view"
 )
@@ -133,6 +134,7 @@ type Engine struct {
 	store *dataspace.Store
 	mode  Mode
 	m     *metrics.Registry // the store's registry, cached
+	sc    *sched.Controller // the store's exploration controller (usually nil)
 
 	attempts  atomic.Uint64
 	commits   atomic.Uint64
@@ -146,7 +148,7 @@ func New(store *dataspace.Store, mode Mode) *Engine {
 	if mode != Coarse && mode != Optimistic {
 		mode = Coarse
 	}
-	return &Engine{store: store, mode: mode, m: store.Metrics()}
+	return &Engine{store: store, mode: mode, m: store.Metrics(), sc: store.Sched()}
 }
 
 // Store returns the engine's dataspace.
@@ -184,6 +186,7 @@ func (e *Engine) Immediate(req Request) (Result, error) {
 // inside one exec are counted as retries, so per kind
 // latency-histogram count == attempts ≥ commits.
 func (e *Engine) exec(req Request, kind metrics.TxnKind) (Result, error) {
+	e.sc.Yield(sched.PointTxnExec)
 	e.m.IncTxnAttempt(kind)
 	observed := e.m.Observed()
 	var start time.Time
@@ -313,6 +316,11 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 		evalErr     error
 	)
 	e.attempts.Add(1)
+	// Forced-retry fault: treat this evaluation's validation as failed even
+	// when the version matches, driving the under-lock re-evaluation path a
+	// wall-clock schedule rarely reaches. Drawn before the snapshot so the
+	// decision stream is independent of evaluation timing.
+	forced := e.sc.ForceRetry()
 	keys, planned := footprintKeys(req)
 	snapshot := e.store.Snapshot
 	if planned {
@@ -340,7 +348,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 	if len(sols) == 0 {
 		// A definitive failure only if nothing changed since the snapshot;
 		// otherwise re-check under the lock.
-		if e.store.Version() == snapVersion {
+		if !forced && e.store.Version() == snapVersion {
 			e.failures.Add(1)
 			return Result{Env: req.Env}, nil
 		}
@@ -349,7 +357,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 		return e.lockedRetry(req, keys, planned)
 	}
 
-	if len(req.Asserts) == 0 && !anyRetracts(sols) {
+	if !forced && len(req.Asserts) == 0 && !anyRetracts(sols) {
 		// Read-only fast path: commit-free.
 		e.commits.Add(1)
 		res := Result{OK: true, Env: req.Env}
@@ -364,7 +372,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 
 	var res Result
 	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
-		if w.Version() != snapVersion {
+		if forced || w.Version() != snapVersion {
 			// Conflict: the snapshot's solutions may be stale; re-evaluate
 			// in place.
 			e.conflicts.Add(1)
@@ -402,6 +410,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 // commit.
 func (e *Engine) lockedRetry(req Request, keys []dataspace.InterestKey, planned bool) (Result, error) {
 	var res Result
+	e.sc.Yield(sched.PointTxnRetry)
 	e.attempts.Add(1)
 	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
 		r, err := e.evalAndApply(w, req)
@@ -545,6 +554,7 @@ func (e *Engine) Delayed(ctx context.Context, req Request) (Result, error) {
 		case <-ch:
 			e.wakeups.Add(1)
 			cancel()
+			e.sc.Yield(sched.PointTxnWakeup)
 		case <-ctx.Done():
 			cancel()
 			return Result{}, ctx.Err()

@@ -34,6 +34,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/metrics"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/sched"
 	"github.com/sdl-lang/sdl/internal/trace"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
@@ -293,6 +294,33 @@ var (
 	NewCommitLog = trace.NewCommitLog
 	// NewWatcher starts a snapshot-sampling observer.
 	NewWatcher = vis.NewWatcher
+)
+
+// Deterministic schedule exploration.
+type (
+	// SchedController is a seedable deterministic scheduler and fault
+	// injector. Installed via Options.Scheduler (or the WithScheduler
+	// store option), it drives yields, wakeup-dispatch order, spurious
+	// wakeups, forced optimistic retries, and delayed consensus signals
+	// from a pure decision stream, so any interleaving it provokes can
+	// be replayed from its seed. A nil controller leaves every hook as
+	// a no-op.
+	SchedController = sched.Controller
+	// SchedFaults selects the perturbation probabilities (0-255 each).
+	SchedFaults = sched.Faults
+)
+
+var (
+	// NewScheduler creates a controller for the given seed and faults.
+	NewScheduler = sched.New
+	// Fault presets: no perturbation beyond deterministic decisions,
+	// a light mix, and an aggressive mix for stress campaigns.
+	SchedNoFaults = sched.NoFaults
+	SchedLight    = sched.Light
+	SchedHeavy    = sched.Heavy
+	// WithScheduler installs a controller on a store built directly via
+	// NewStore (System users set Options.Scheduler instead).
+	WithScheduler = dataspace.WithScheduler
 )
 
 // Observability.

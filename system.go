@@ -15,6 +15,12 @@ type Options struct {
 	// Shards sets the dataspace shard count (see WithShards); 0 selects
 	// the GOMAXPROCS-based default.
 	Shards int
+	// Scheduler installs a deterministic schedule controller (see
+	// NewScheduler). Every runtime layer draws its scheduling decisions
+	// from it, making adversarial interleavings reproducible from the
+	// controller's seed. Nil (the default) leaves all hook points as
+	// no-ops.
+	Scheduler *SchedController
 }
 
 // System bundles a complete SDL runtime: store, engine, consensus manager,
@@ -30,7 +36,7 @@ type System struct {
 
 // New assembles a System.
 func New(opts Options) *System {
-	store := NewStore(WithShards(opts.Shards))
+	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler))
 	var rec *Recorder
 	switch {
 	case opts.Trace > 0:

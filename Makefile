@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit check bench sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test clean
+.PHONY: all build vet test race audit check bench bench-json bench-gate sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test clean
 
 all: check
 
@@ -29,8 +29,8 @@ audit:
 analyze-smoke:
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=5s -run '^$$' ./internal/analysis
 
-# The full schedule-exploration campaign: 1000+ seeds across the twelve
-# corpus programs (12 programs x 84 seeds = 1008 runs), light faults,
+# The full schedule-exploration campaign: 1000+ seeds across the thirteen
+# corpus programs (13 programs x 84 seeds = 1092 runs), light faults,
 # serializability-checked. Any failure prints a replayable seed.
 explore:
 	$(GO) run ./cmd/sdlexplore -seeds 84
@@ -54,6 +54,18 @@ bench:
 # Regenerate bench_sweep.txt (full parameter sweeps; takes minutes).
 sweep:
 	$(GO) run ./cmd/sdlbench | tee bench_sweep.txt
+
+# Quick machine-readable sweep: writes BENCH_<shortrev>.json (the
+# github-action-benchmark data.js shape) for the performance trajectory.
+bench-json:
+	$(GO) run ./cmd/sdlbench -quick -json -rev $$(git rev-parse --short HEAD)
+
+# Regression gate: measure the working tree and diff it against the most
+# recent committed BENCH_*.json (>30% on E1/E9/E12/E13 fails).
+bench-gate:
+	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13
+	$(GO) run ./cmd/benchgate -new BENCH_gate.json BENCH_*.json
+	rm -f BENCH_gate.json
 
 # Run each fuzz target briefly — a smoke pass, not a campaign.
 fuzz-smoke:

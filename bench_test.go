@@ -121,3 +121,20 @@ func BenchmarkE12ShardScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE13CommutingUpserts runs the disjoint-key upsert workload once
+// per iteration, with the commutativity-aware commit path (key latches +
+// group commit) on or off at each shard count. Compare commute=true against
+// commute=false at the same shard count for the commit-path speedup;
+// divergence requires hardware parallelism (flat at GOMAXPROCS=1).
+func BenchmarkE13CommutingUpserts(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		for _, commuting := range []bool{false, true} {
+			b.Run(fmt.Sprintf("shards=%d/commute=%v", shards, commuting), func(b *testing.B) {
+				benchExperiment(b, func(context.Context) error {
+					return bench.CommutingUpserts(shards, commuting)
+				})
+			})
+		}
+	}
+}

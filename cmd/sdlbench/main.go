@@ -1,10 +1,16 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E12, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E13, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
+// With -json, the sweep additionally writes BENCH_<rev>.json — one run in
+// the github-action-benchmark data.js shape (see internal/bench
+// trajectory.go) — so committed runs form a machine-diffable performance
+// trajectory; cmd/benchgate compares two such files and fails on
+// regression.
+//
 // Usage:
 //
-//	sdlbench [-run E1,E4] [-quick] [-json] [-timeout 10m]
+//	sdlbench [-run E1,E4] [-quick] [-json] [-rev abc1234] [-timeout 10m]
 package main
 
 import (
@@ -110,6 +116,13 @@ func experiments() []experiment {
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E12ShardScaling(ctx, []int{1024, 4096})
 			}},
+		{"E13",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E13CommutingUpserts(ctx, []int{8})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E13CommutingUpserts(ctx, []int{2, 8, 64})
+			}},
 	}
 }
 
@@ -126,7 +139,8 @@ func run(args []string) error {
 		only    = fs.String("run", "", "comma-separated experiment ids (default: all)")
 		quick   = fs.Bool("quick", false, "small parameter sweeps")
 		timeout = fs.Duration("timeout", 15*time.Minute, "total time budget")
-		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		asJSON  = fs.Bool("json", false, "also write BENCH_<rev>.json (github-action-benchmark data.js shape)")
+		rev     = fs.String("rev", "local", "revision id recorded in BENCH_<rev>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +154,7 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	var tables []*bench.Table
 	for _, ex := range experiments() {
 		if len(selected) > 0 && !selected[ex.id] {
 			continue
@@ -153,16 +168,26 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", ex.id, err)
 		}
-		if *asJSON {
-			if err := tbl.WriteJSON(os.Stdout); err != nil {
-				return err
-			}
-			continue
-		}
+		tables = append(tables, tbl)
 		if err := tbl.Write(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Printf("   (%s took %v)\n\n", ex.id, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		name := "BENCH_" + *rev + ".json"
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteTrajectory(f, *rev, time.Now(), tables); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", name, len(tables))
 	}
 	return nil
 }

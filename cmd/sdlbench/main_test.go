@@ -1,11 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"github.com/sdl-lang/sdl/internal/bench"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -56,8 +57,8 @@ func TestRunMultipleSelection(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := experiments()
-	if len(exps) != 12 {
-		t.Fatalf("experiments = %d, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, ex := range exps {
@@ -78,21 +79,38 @@ func TestBadFlags(t *testing.T) {
 }
 
 func TestRunJSONOutput(t *testing.T) {
+	t.Chdir(t.TempDir())
 	out, err := capture(t, func() error {
-		return run([]string{"-quick", "-json", "-run", "E5"})
+		return run([]string{"-quick", "-json", "-rev", "testrev", "-run", "E5"})
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tbl map[string]any
-	if err := json.Unmarshal([]byte(out), &tbl); err != nil {
-		t.Fatalf("not JSON: %v\n%s", err, out)
+	// Human tables still print alongside the trajectory file.
+	if !strings.Contains(out, "== E5:") {
+		t.Errorf("human table missing:\n%s", out)
 	}
-	if tbl["id"] != "E5" {
-		t.Errorf("id = %v", tbl["id"])
+	f, err := os.Open("BENCH_testrev.json")
+	if err != nil {
+		t.Fatal(err)
 	}
-	rows, ok := tbl["rows"].([]any)
-	if !ok || len(rows) == 0 {
-		t.Errorf("rows = %v", tbl["rows"])
+	defer f.Close()
+	run, err := bench.ReadTrajectory(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Tool != "sdlbench" || run.Commit.ID != "testrev" {
+		t.Errorf("run header = %+v", run)
+	}
+	if len(run.Benches) == 0 {
+		t.Fatal("no benches recorded")
+	}
+	for _, b := range run.Benches {
+		if !strings.HasPrefix(b.Name, "E5 ") {
+			t.Errorf("bench %q not from the selected experiment", b.Name)
+		}
+		if b.Unit == "" || b.Extra == "" {
+			t.Errorf("bench %q missing unit/direction: %+v", b.Name, b)
+		}
 	}
 }

@@ -21,6 +21,10 @@
 //   - hygiene: unused quantifier variables, variables referenced but
 //     bound only by negated patterns, and branches with constant-false
 //     guards.
+//   - footprint: transactions the runtime's commutativity-aware commit
+//     path cannot plan — view-restricted processes, and patterns or
+//     assertions whose leading field is not determined by parameters and
+//     lets. Notes only: wide footprints are legal, they just serialize.
 //
 // All passes are conservative in the same direction: silence proves
 // nothing, but every error-severity diagnostic identifies a transaction
@@ -40,10 +44,11 @@ const (
 	CheckBlocked   = "blocked"
 	CheckConsensus = "consensus"
 	CheckHygiene   = "hygiene"
+	CheckFootprint = "footprint"
 )
 
 // AllChecks lists every pass in execution order.
-var AllChecks = []string{CheckView, CheckShape, CheckBlocked, CheckConsensus, CheckHygiene}
+var AllChecks = []string{CheckView, CheckShape, CheckBlocked, CheckConsensus, CheckHygiene, CheckFootprint}
 
 // Options configures an analysis run.
 type Options struct {
@@ -76,6 +81,7 @@ func Analyze(prog *lang.Program, opts Options) ([]Diagnostic, error) {
 		CheckBlocked:   runBlocked,
 		CheckConsensus: runConsensus,
 		CheckHygiene:   runHygiene,
+		CheckFootprint: runFootprint,
 	}
 	selected := opts.Checks
 	if len(selected) == 0 {

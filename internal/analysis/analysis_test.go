@@ -55,6 +55,7 @@ func TestGolden(t *testing.T) {
 		{"blocked", analysis.Options{Checks: []string{analysis.CheckBlocked}}},
 		{"consensus", analysis.Options{Checks: []string{analysis.CheckConsensus}}},
 		{"hygiene", analysis.Options{Checks: []string{analysis.CheckHygiene}}},
+		{"footprint", analysis.Options{Checks: []string{analysis.CheckFootprint}}},
 		{"clean", analysis.Options{}},
 	}
 	for _, tc := range cases {
@@ -78,9 +79,10 @@ func TestGolden(t *testing.T) {
 	}
 }
 
-// TestSeededFindingsPerCheck is the acceptance gate in code: every one of
-// the five check classes detects at least one seeded violation in its
-// fixture, at the expected worst severity.
+// TestSeededFindingsPerCheck is the acceptance gate in code: every check
+// class detects at least one seeded violation in its fixture, at the
+// expected worst severity (the footprint pass is informational by design,
+// so its fixture is expected to surface notes).
 func TestSeededFindingsPerCheck(t *testing.T) {
 	worst := map[string]analysis.Severity{
 		analysis.CheckView:      analysis.Error,
@@ -88,6 +90,7 @@ func TestSeededFindingsPerCheck(t *testing.T) {
 		analysis.CheckBlocked:   analysis.Warn,
 		analysis.CheckConsensus: analysis.Warn,
 		analysis.CheckHygiene:   analysis.Warn,
+		analysis.CheckFootprint: analysis.Note,
 	}
 	for _, check := range analysis.AllChecks {
 		diags := analyzeFixture(t, check+".sdl", analysis.Options{Checks: []string{check}})
@@ -100,7 +103,7 @@ func TestSeededFindingsPerCheck(t *testing.T) {
 			if d.Severity > max {
 				max = d.Severity
 			}
-			if d.Severity >= analysis.Warn {
+			if d.Severity >= worst[check] {
 				count++
 			}
 		}

@@ -1,0 +1,102 @@
+// Package footprint statically classifies a transaction's dataspace
+// footprint: whether every index bucket the transaction can scan, retract
+// from, or assert into is determined by the issuing environment (Ground),
+// or at least one leading field is not (Wildcard).
+//
+// The classification is computed once, at compile time, against the set of
+// names bound in the issuing environment (process parameters and
+// let-constants). The transaction engine uses it as a planning hint:
+//
+//   - Wildcard is a certain judgment — a query-bound or wildcard lead can
+//     never become ground at run time, because pattern matching only ever
+//     adds query-quantified bindings, which are not in the issuing
+//     environment the leads are evaluated under. The engine skips dynamic
+//     footprint planning entirely for Wildcard transactions.
+//   - Ground is an optimistic judgment — the dynamic planner remains
+//     authoritative (a lead expression can still fail to evaluate). The
+//     engine plans as usual and the plan is expected to succeed.
+//   - Unknown (the zero value) means no static information; legacy
+//     call sites that never ran the classifier behave exactly as before.
+//
+// The package sits below the compiler and the analyzer and imports only
+// pattern and expr, so both can use it without import cycles.
+package footprint
+
+import (
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/pattern"
+)
+
+// Class is a transaction's static footprint classification.
+type Class uint8
+
+const (
+	// Unknown means the classifier never ran; dynamic planning decides.
+	Unknown Class = iota
+	// Ground means every lead is expected to be determined by the issuing
+	// environment: the dynamic footprint plan should be exact.
+	Ground
+	// Wildcard means at least one lead is certainly not determined by the
+	// issuing environment: dynamic planning would always fail, and the
+	// engine skips it.
+	Wildcard
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Ground:
+		return "ground"
+	case Wildcard:
+		return "wildcard"
+	default:
+		return "unknown"
+	}
+}
+
+// leadGround reports whether p's leading field is determined by the
+// issuing environment, where bound reports membership in that environment.
+// Arity-0 patterns address the fixed zero-lead bucket and count as ground.
+func leadGround(p pattern.Pattern, bound func(string) bool) bool {
+	if p.Arity() == 0 {
+		return true
+	}
+	f := p.Fields[0]
+	switch f.Kind {
+	case pattern.FieldConst:
+		return true
+	case pattern.FieldVar:
+		return bound(f.Name)
+	case pattern.FieldExpr:
+		var e expr.Expr = f.Expr
+		if e == nil {
+			return false
+		}
+		for _, v := range e.Vars(nil) {
+			if !bound(v) {
+				return false
+			}
+		}
+		return true
+	default: // FieldWildcard
+		return false
+	}
+}
+
+// Classify classifies the footprint of a transaction with binding query q
+// and assertion patterns asserts, issued under an environment whose bound
+// names are reported by bound. The result is Wildcard if any lead is not
+// determined by that environment, Ground otherwise.
+func Classify(q pattern.Query, asserts []pattern.Pattern, bound func(string) bool) Class {
+	for _, p := range q.Patterns {
+		if !leadGround(p, bound) {
+			return Wildcard
+		}
+	}
+	for _, p := range asserts {
+		if !leadGround(p, bound) {
+			return Wildcard
+		}
+	}
+	return Ground
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trajectory output: the machine-readable counterpart of the human tables,
+// in the github-action-benchmark data.js shape — a top-level window object
+// whose entries map holds, per suite, a list of runs; each run carries its
+// commit id, a date, and a flat "benches" list of named measurements. One
+// sdlbench invocation appends exactly one run, so a committed series of
+// BENCH_<rev>.json files (or a merged data.js) is a performance trajectory
+// over revisions that generic tooling can chart and diff.
+
+// BenchEntry is one measured value in a run ("benches" element).
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Extra records the improvement direction for gating tools:
+	// "biggerIsBetter" (throughput, batch sizes) or "smallerIsBetter"
+	// (latencies, locks/op, counts).
+	Extra string `json:"extra,omitempty"`
+}
+
+// BenchCommit identifies the revision a run measured.
+type BenchCommit struct {
+	ID        string `json:"id"`
+	Timestamp string `json:"timestamp"`
+}
+
+// BenchRun is one sdlbench invocation over a revision.
+type BenchRun struct {
+	Commit  BenchCommit  `json:"commit"`
+	Date    int64        `json:"date"` // unix millis
+	Tool    string       `json:"tool"`
+	Benches []BenchEntry `json:"benches"`
+}
+
+// BenchFile is the top-level data.js window object.
+type BenchFile struct {
+	LastUpdate int64                 `json:"lastUpdate"` // unix millis
+	RepoURL    string                `json:"repoUrl"`
+	Entries    map[string][]BenchRun `json:"entries"`
+}
+
+// BiggerIsBetter reports the improvement direction of a metric unit.
+func BiggerIsBetter(unit string) bool {
+	switch unit {
+	case "kops/s", "ops/s", "txns/batch":
+		return true
+	default: // ms, locks/op, retries, counts…
+		return false
+	}
+}
+
+// direction renders the Extra field for a unit.
+func direction(unit string) string {
+	if BiggerIsBetter(unit) {
+		return "biggerIsBetter"
+	}
+	return "smallerIsBetter"
+}
+
+// Flatten converts experiment tables into the flat benches list. Names are
+// "<id> <config> · <metric>", unique across the sweep.
+func Flatten(tables []*Table) []BenchEntry {
+	var out []BenchEntry
+	for _, t := range tables {
+		for _, row := range t.Rows {
+			for _, m := range row.Metrics {
+				out = append(out, BenchEntry{
+					Name:  fmt.Sprintf("%s %s · %s", t.ID, row.Config, m.Name),
+					Value: m.Value,
+					Unit:  m.Unit,
+					Extra: direction(m.Unit),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteTrajectory writes one run over the given tables as a complete
+// data.js window holding a single entry under the "sdlbench" suite.
+func WriteTrajectory(w io.Writer, rev string, now time.Time, tables []*Table) error {
+	run := BenchRun{
+		Commit:  BenchCommit{ID: rev, Timestamp: now.UTC().Format(time.RFC3339)},
+		Date:    now.UnixMilli(),
+		Tool:    "sdlbench",
+		Benches: Flatten(tables),
+	}
+	file := BenchFile{
+		LastUpdate: now.UnixMilli(),
+		RepoURL:    "https://github.com/sdl-lang/sdl",
+		Entries:    map[string][]BenchRun{"sdlbench": {run}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// ReadTrajectory parses a data.js window object written by WriteTrajectory
+// (or merged by external tooling) and returns the most recent run of the
+// "sdlbench" suite.
+func ReadTrajectory(r io.Reader) (BenchRun, error) {
+	var file BenchFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return BenchRun{}, err
+	}
+	runs := file.Entries["sdlbench"]
+	if len(runs) == 0 {
+		return BenchRun{}, fmt.Errorf("bench: no sdlbench runs in trajectory file")
+	}
+	latest := runs[0]
+	for _, run := range runs[1:] {
+		if run.Date > latest.Date {
+			latest = run
+		}
+	}
+	return latest, nil
+}

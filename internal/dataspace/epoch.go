@@ -1,0 +1,212 @@
+package dataspace
+
+import (
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Epoch-based read path. Read-only planned transactions — no asserts, no
+// retracts, concrete footprint — do not need locks at all: they evaluate
+// against immutable per-shard snapshots and validate afterwards that no
+// footprint shard changed while they ran. Validation compares each shard's
+// change sequence (shard.seq, bumped under mu for every commit that touches
+// the shard, before any of the commit's locks are released) against the
+// sequence its snapshot was built at. If every sequence is unchanged, the
+// snapshots form a consistent cut: a multi-shard commit bumps all of its
+// shards' sequences before releasing any mu, so a commit visible in one
+// snapshot but missing from another always leaves a sequence mismatch
+// behind. On mismatch the caller falls back to the locked read path.
+//
+// Snapshots are cached per shard (shard.snap) and rebuilt lazily on the
+// first epoch read after a change, so a read-hot bucket amortizes one
+// rebuild over arbitrarily many lock-free reads.
+
+// shardSnap is an immutable snapshot of one shard's contents, stamped with
+// the change sequence it was built at.
+type shardSnap struct {
+	seq     uint64
+	insts   []Instance
+	byLead  map[indexKey][]Instance
+	byArity map[int][]Instance
+}
+
+// buildSnap materializes a snapshot of sh. The caller holds sh.mu (read or
+// write), so the maps and seq are mutually consistent.
+func buildSnap(sh *shard, seq uint64) *shardSnap {
+	snap := &shardSnap{
+		seq:     seq,
+		insts:   make([]Instance, 0, len(sh.entries)),
+		byLead:  make(map[indexKey][]Instance, len(sh.byLead)),
+		byArity: make(map[int][]Instance, len(sh.byArity)),
+	}
+	for id, e := range sh.entries {
+		inst := Instance{ID: id, Tuple: e.t, Owner: e.owner}
+		snap.insts = append(snap.insts, inst)
+		a := e.t.Arity()
+		snap.byArity[a] = append(snap.byArity[a], inst)
+		if a > 0 {
+			k := indexKey{arity: a, lead: canonLead(e.t.Field(0))}
+			snap.byLead[k] = append(snap.byLead[k], inst)
+		}
+	}
+	return snap
+}
+
+// getSnap returns a snapshot of shard si no older than the shard's state at
+// some point after this call began. The fast path is a lock-free cache hit;
+// a stale cache is rebuilt under the shard's read lock. A racing commit can
+// invalidate the returned snapshot immediately — the caller's end-of-read
+// sequence validation catches that.
+func (s *Store) getSnap(si uint32) *shardSnap {
+	sh := s.shards[si]
+	if snap := sh.snap.Load(); snap != nil && snap.seq == sh.seq.Load() {
+		return snap
+	}
+	sh.mu.RLock()
+	seq := sh.seq.Load()
+	if snap := sh.snap.Load(); snap != nil && snap.seq == seq {
+		sh.mu.RUnlock()
+		return snap
+	}
+	snap := buildSnap(sh, seq)
+	sh.mu.RUnlock()
+	sh.snap.Store(snap)
+	s.metrics.IncEpochRebuild()
+	return snap
+}
+
+// epochReader implements Reader over a set of shard snapshots. Like the
+// locked SnapshotKeys reader it exposes ONLY tuples in the footprint
+// shards.
+type epochReader struct {
+	s       *Store
+	ss      *shardSet
+	snaps   []*shardSnap // indexed by shard; nil outside the footprint
+	version uint64
+}
+
+var _ Reader = epochReader{}
+
+func (r epochReader) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.ID, tuple.Tuple) bool) {
+	if leadKnown {
+		k := indexKey{arity: arity, lead: canonLead(lead)}
+		si := r.s.shardIndex(k)
+		if !r.ss.has(si) {
+			return
+		}
+		for _, inst := range r.snaps[si].byLead[k] {
+			if !fn(inst.ID, inst.Tuple) {
+				return
+			}
+		}
+		return
+	}
+	r.ss.forEach(func(si uint32) bool {
+		for _, inst := range r.snaps[si].byArity[arity] {
+			if !fn(inst.ID, inst.Tuple) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (r epochReader) Get(id tuple.ID) (Instance, bool) {
+	var (
+		found Instance
+		ok    bool
+	)
+	r.ss.forEach(func(si uint32) bool {
+		for _, inst := range r.snaps[si].insts {
+			if inst.ID == id {
+				found, ok = inst, true
+				return false
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+func (r epochReader) Each(fn func(Instance) bool) {
+	r.ss.forEach(func(si uint32) bool {
+		for _, inst := range r.snaps[si].insts {
+			if !fn(inst) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func (r epochReader) Arities() []int {
+	var out []int
+	r.ss.forEach(func(si uint32) bool {
+		for a := range r.snaps[si].byArity {
+			dup := false
+			for _, have := range out {
+				if have == a {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, a)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (r epochReader) Version() uint64 { return r.version }
+
+func (r epochReader) Len() int {
+	n := 0
+	r.ss.forEach(func(si uint32) bool {
+		n += len(r.snaps[si].insts)
+		return true
+	})
+	return n
+}
+
+// SnapshotKeysEpoch runs fn against epoch snapshots of the shards covering
+// keys, without taking any locks, and reports whether the read was
+// consistent: true means no footprint shard changed while fn ran and its
+// observations stand; false means the read may be torn and the caller must
+// retry on the locked path (SnapshotKeys). Wildcard keys and stores built
+// with WithCommuting(false) always return false.
+func (s *Store) SnapshotKeysEpoch(keys []InterestKey, fn func(r Reader)) bool {
+	if !s.commuting {
+		return false
+	}
+	var ss shardSet
+	for _, k := range keys {
+		switch {
+		case k.Arity == 0:
+			ss.add(s.shardIndex(indexKey{}))
+		case k.LeadKnown:
+			ss.add(s.shardIndex(indexKey{arity: k.Arity, lead: canonLead(k.Lead)}))
+		default:
+			return false // unbounded footprint: locked path only
+		}
+	}
+	s.metrics.IncEpochRead()
+	snaps := make([]*shardSnap, len(s.shards))
+	ss.forEach(func(si uint32) bool {
+		snaps[si] = s.getSnap(si)
+		return true
+	})
+	fn(epochReader{s: s, ss: &ss, snaps: snaps, version: s.version.Load()})
+	valid := true
+	ss.forEach(func(si uint32) bool {
+		if s.shards[si].seq.Load() != snaps[si].seq {
+			valid = false
+			return false
+		}
+		return true
+	})
+	if !valid {
+		s.metrics.IncEpochFallback()
+	}
+	return valid
+}

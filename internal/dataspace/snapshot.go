@@ -144,6 +144,10 @@ func (s *Store) ReadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(data))
 	}
 	s.version.Store(storeVersion)
+	// Invalidate any epoch snapshots built against the pre-restore state.
+	for _, sh := range s.shards {
+		sh.seq.Add(1)
+	}
 	// Future IDs must not collide with restored instances.
 	for {
 		cur := s.nextID.Load()

@@ -152,6 +152,20 @@ func (ss *shardSet) forEach(fn func(i uint32) bool) {
 // shard is one partition of the dataspace. A shard's maps, counters, and
 // waiter registry are guarded by its mu (the registry additionally has its
 // own short-lived mutex so Wait/cancel need no shard lock).
+//
+// The commuting commit path (see locktable.go) layers two more lock
+// classes around mu. intent separates the two commit disciplines: key-mode
+// commits hold it shared for their whole span, shard-mode commits hold it
+// exclusive, so the two never interleave on one shard while key-mode
+// commits stack up freely. latches are the striped per-key lock table; a
+// key-mode commit latches every bucket of its footprint before touching
+// intent. The acquisition order is always latches (ascending global
+// order), then intent (ascending shard order), then mu — a fixed class
+// order that keeps the three-layer ladder deadlock-free.
+//
+// seq counts committed changes to this shard's contents and snap caches an
+// immutable epoch snapshot of them (see epoch.go); both are maintained
+// under mu and read lock-free by the epoch read path.
 type shard struct {
 	mu      sync.RWMutex
 	entries map[tuple.ID]entry
@@ -160,6 +174,13 @@ type shard struct {
 
 	asserts  uint64
 	retracts uint64
+
+	intent  sync.RWMutex
+	latches [keyStripes]sync.Mutex
+	queue   commitQueue
+
+	seq  atomic.Uint64
+	snap atomic.Pointer[shardSnap]
 
 	waiters waiterRegistry
 }
@@ -174,6 +195,8 @@ type Store struct {
 	mask   uint32
 	all    shardSet // every shard index, for the full-lock paths
 
+	commuting bool // key-level locking + group commit enabled
+
 	metrics *metrics.Registry
 	sc      *sched.Controller // nil unless schedule exploration is on
 
@@ -185,8 +208,9 @@ type Store struct {
 type Option func(*storeConfig)
 
 type storeConfig struct {
-	shards int
-	sc     *sched.Controller
+	shards      int
+	sc          *sched.Controller
+	noCommuting bool
 }
 
 // WithShards sets the shard count. Values are rounded up to a power of two
@@ -203,6 +227,13 @@ func WithShards(n int) Option {
 // controller (the default) keeps every hook a no-op.
 func WithScheduler(sc *sched.Controller) Option {
 	return func(c *storeConfig) { c.sc = sc }
+}
+
+// WithCommuting enables or disables the commutativity-aware commit path
+// (per-key latches plus group commit; on by default). Disabling it demotes
+// every planned commit to shard-level locking — the E13 ablation baseline.
+func WithCommuting(on bool) Option {
+	return func(c *storeConfig) { c.noCommuting = !on }
 }
 
 func defaultShardCount() int {
@@ -264,10 +295,11 @@ func New(opts ...Option) *Store {
 	}
 	n := normalizeShardCount(cfg.shards)
 	s := &Store{
-		shards:  make([]*shard, n),
-		mask:    uint32(n - 1),
-		metrics: metrics.NewRegistry(n),
-		sc:      cfg.sc,
+		shards:    make([]*shard, n),
+		mask:      uint32(n - 1),
+		commuting: !cfg.noCommuting,
+		metrics:   metrics.NewRegistry(n),
+		sc:        cfg.sc,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
@@ -293,15 +325,13 @@ func (s *Store) Metrics() *metrics.Registry { return s.metrics }
 // and keep the (possibly nil) controller for their own decision points.
 func (s *Store) Sched() *sched.Controller { return s.sc }
 
-// shardIndex hashes an index key onto a shard: FNV-1a accumulation over
-// the key's canonical fields, then a full-avalanche finalizer so that
-// differences anywhere in the input (e.g. the high mantissa bits that
-// distinguish small numeric leads) reach the low bits the mask selects.
-// Every tuple of one bucket maps to the same shard.
-func (s *Store) shardIndex(k indexKey) uint32 {
-	if s.mask == 0 {
-		return 0
-	}
+// hashKey hashes an index key: FNV-1a accumulation over the key's
+// canonical fields, then a full-avalanche finalizer so that differences
+// anywhere in the input (e.g. the high mantissa bits that distinguish
+// small numeric leads) reach every output bit. The low 32 bits select the
+// shard; the high 32 bits select the key-latch stripe, so the two
+// partitions are independent.
+func hashKey(k indexKey) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -324,7 +354,16 @@ func (s *Store) shardIndex(k indexKey) uint32 {
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
-	return uint32(h) & s.mask
+	return h
+}
+
+// shardIndex maps an index key onto a shard. Every tuple of one bucket
+// maps to the same shard.
+func (s *Store) shardIndex(k indexKey) uint32 {
+	if s.mask == 0 {
+		return 0
+	}
+	return uint32(hashKey(k)) & s.mask
 }
 
 // planShards maps interest keys onto the shard set their buckets live in.
@@ -359,9 +398,15 @@ func (s *Store) runlockSet(ss *shardSet) {
 	ss.forEach(func(i uint32) bool { s.shards[i].mu.RUnlock(); return true })
 }
 
+// lockSet takes the shard-mode (exclusive) locks: each shard's intent lock
+// keeps key-mode commits off the shard for the whole critical section, and
+// its mu grants exclusive access to the maps. Both are acquired in
+// ascending shard order, intent before mu — the global lock-class order
+// shared with the commuting path (locktable.go).
 func (s *Store) lockSet(ss *shardSet) {
 	ss.forEach(func(i uint32) bool {
 		s.sc.Yield(sched.PointLockShard)
+		s.shards[i].intent.Lock()
 		s.shards[i].mu.Lock()
 		s.metrics.IncShardWrite(i)
 		return true
@@ -369,7 +414,11 @@ func (s *Store) lockSet(ss *shardSet) {
 }
 
 func (s *Store) unlockSet(ss *shardSet) {
-	ss.forEach(func(i uint32) bool { s.shards[i].mu.Unlock(); return true })
+	ss.forEach(func(i uint32) bool {
+		s.shards[i].mu.Unlock()
+		s.shards[i].intent.Unlock()
+		return true
+	})
 }
 
 // OnCommit registers a hook invoked for every mutating commit. Must be
@@ -458,7 +507,8 @@ func (s *Store) snapshotSet(ss shardSet, fn func(r Reader)) {
 // keys are woken, and commit hooks run. If fn returns an error, mutations
 // made through the writer are rolled back and the error is returned.
 func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
-	return s.updateSet(s.all, owner, fn)
+	_, err := s.updateSet(s.all, owner, fn)
+	return err
 }
 
 // UpdateKeys is Update restricted to the shards covering keys: only those
@@ -467,10 +517,11 @@ func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
 // reports ErrNoSuchTuple for Deletes outside them; callers must plan keys
 // covering every bucket they scan, retract from, or assert into.
 func (s *Store) UpdateKeys(owner tuple.ProcessID, keys []InterestKey, fn func(w Writer) error) error {
-	return s.updateSet(s.planShards(keys), owner, fn)
+	_, err := s.updateSet(s.planShards(keys), owner, fn)
+	return err
 }
 
-func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) error {
+func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) (bool, error) {
 	s.lockSet(&ss)
 	if s.sc != nil {
 		// Contention spike: widen the critical section while the shard
@@ -487,7 +538,7 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 	if err != nil {
 		w.rollback()
 		s.unlockSet(&ss)
-		return err
+		return false, err
 	}
 	var rec CommitRecord
 	changed := len(w.inserted) > 0 || len(w.deleted) > 0
@@ -499,6 +550,7 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 		for _, si := range w.delShard {
 			s.shards[si].retracts++
 		}
+		s.bumpSeqs(w.insShard, w.delShard)
 		rec = CommitRecord{
 			Version:  s.allocVersion(),
 			Owner:    owner,
@@ -511,9 +563,28 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 	}
 	s.unlockSet(&ss)
 	if changed {
-		s.notify(rec, w)
+		s.notify(rec, w.insShard, w.delShard)
 	}
-	return nil
+	return changed, nil
+}
+
+// bumpSeqs advances the change sequence of every shard the commit wrote,
+// once per shard, invalidating cached epoch snapshots. Callers hold the
+// written shards' mu locks.
+func (s *Store) bumpSeqs(insShard, delShard []uint32) {
+	var touched shardSet
+	for _, si := range insShard {
+		if !touched.has(si) {
+			touched.add(si)
+			s.shards[si].seq.Add(1)
+		}
+	}
+	for _, si := range delShard {
+		if !touched.has(si) {
+			touched.add(si)
+			s.shards[si].seq.Add(1)
+		}
+	}
 }
 
 // allocVersion claims the commit's serialization position. Normally a
@@ -571,7 +642,7 @@ func (s *Store) Assert(owner tuple.ProcessID, ts ...tuple.Tuple) []tuple.ID {
 	for _, t := range ts {
 		ss.add(s.shardIndex(indexKeyOf(t)))
 	}
-	_ = s.updateSet(ss, owner, func(w Writer) error {
+	_, _ = s.updateSet(ss, owner, func(w Writer) error {
 		for i, t := range ts {
 			ids[i] = w.Insert(t, owner)
 		}

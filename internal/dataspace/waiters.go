@@ -196,8 +196,10 @@ func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
 // notify wakes every waiter whose interest intersects the commit (or every
 // waiter, in the ablation's broad mode). Each written instance is matched
 // against the registry of the shard it lives in — commits never touch the
-// registries of shards outside their footprint.
-func (s *Store) notify(rec CommitRecord, w *writer) {
+// registries of shards outside their footprint. insShard and delShard are
+// the per-instance shard indexes recorded by the commit's writer (shard
+// path and key path alike).
+func (s *Store) notify(rec CommitRecord, insShard, delShard []uint32) {
 	var fired []*waiter
 	if s.broadWake.Load() {
 		for _, sh := range s.shards {
@@ -205,10 +207,10 @@ func (s *Store) notify(rec CommitRecord, w *writer) {
 		}
 	} else {
 		for i, inst := range rec.Inserted {
-			fired = s.shards[w.insShard[i]].waiters.collect(inst, fired)
+			fired = s.shards[insShard[i]].waiters.collect(inst, fired)
 		}
 		for i, inst := range rec.Deleted {
-			fired = s.shards[w.delShard[i]].waiters.collect(inst, fired)
+			fired = s.shards[delShard[i]].waiters.collect(inst, fired)
 		}
 	}
 	if s.sc != nil && s.sc.SpuriousWakeup() {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/process"
@@ -129,6 +130,11 @@ func Merge(progs ...*Program) (*Program, error) {
 // compiler carries program-level context.
 type compiler struct {
 	arities map[string]int // process name -> parameter count
+	// viewRestricted is true while compiling a process with import/export
+	// clauses: its transactions can never be footprint-planned (a
+	// restricted view may consult arbitrary buckets), so they are stamped
+	// footprint.Wildcard.
+	viewRestricted bool
 }
 
 // scope tracks which identifiers denote runtime bindings (process
@@ -158,6 +164,8 @@ func (s *scope) bind(name string) { s.bound[name] = true }
 func (s *scope) isBound(name string) bool { return s.bound[name] }
 
 func (c *compiler) compileProcess(pd *ProcessDecl) (*process.Definition, error) {
+	c.viewRestricted = len(pd.Imports) > 0 || len(pd.Exports) > 0
+	defer func() { c.viewRestricted = false }()
 	sc := newScope(pd.Params)
 	// Let-constants become bound identifiers for the whole behavior (a
 	// deliberate widening of the paper's sequential let scoping: a use
@@ -429,6 +437,17 @@ func (c *compiler) compileTxn(t *TxnNode, sc *scope) (process.Transact, error) {
 		default:
 			return process.Transact{}, fmt.Errorf("lang: unknown action %T", a)
 		}
+	}
+
+	// Static footprint classification, against the issuing environment
+	// (params + lets — the outer scope, NOT ts: quantifier-declared and
+	// pattern-bound variables are not in the runtime request environment
+	// the leads are evaluated under). Computed after the actions loop so
+	// tx.Asserts is complete.
+	if c.viewRestricted {
+		tx.Footprint = footprint.Wildcard
+	} else {
+		tx.Footprint = footprint.Classify(q, tx.Asserts, sc.isBound)
 	}
 	return tx, nil
 }

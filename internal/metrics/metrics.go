@@ -174,12 +174,14 @@ type txnCells struct {
 type shardCells struct {
 	readLocks  cell
 	writeLocks cell
+	keyLocks   cell
 }
 
 // ShardCounters is the per-shard activity snapshot.
 type ShardCounters struct {
 	ReadLocks  uint64 `json:"readLocks"`  // read-lock acquisitions
 	WriteLocks uint64 `json:"writeLocks"` // write-lock acquisitions
+	KeyLocks   uint64 `json:"keyLocks"`   // per-key latch acquisitions (commuting path)
 }
 
 // Registry is the per-store metrics registry. Construct with NewRegistry;
@@ -190,6 +192,13 @@ type Registry struct {
 	shards []shardCells
 
 	commits Counter // mutating store commits (== commit-hook invocations)
+
+	keyCommits     Counter    // commits admitted on the per-key commuting path
+	shardFallbacks Counter    // planned commits that fell back to shard locking
+	groupBatch     *Histogram // commits applied per group-commit drain (always on)
+	epochReads     Counter    // lock-free epoch snapshot reads
+	epochRebuilds  Counter    // epoch snapshot rebuilds (cache misses)
+	epochFallbacks Counter    // epoch reads invalidated by a concurrent commit
 
 	txn        [numTxnKinds]txnCells
 	txnLatency [numTxnKinds]*Histogram // ns per execution; gated on Observed
@@ -212,6 +221,7 @@ func NewRegistry(shards int) *Registry {
 	}
 	r := &Registry{
 		shards:             make([]shardCells, shards),
+		groupBatch:         NewHistogram(SizeBounds),
 		footprint:          NewHistogram(SizeBounds),
 		wakeupFanout:       NewHistogram(SizeBounds),
 		consensusCommunity: NewHistogram(SizeBounds),
@@ -247,6 +257,28 @@ func (r *Registry) IncCommits() { r.commits.Add(1) }
 
 // Commits returns the mutating-commit count.
 func (r *Registry) Commits() uint64 { return r.commits.Value() }
+
+// IncShardKeyLocks counts n per-key latch acquisitions on shard i.
+func (r *Registry) IncShardKeyLocks(i uint32, n int) { r.shards[i].keyLocks.v.Add(uint64(n)) }
+
+// IncKeyCommit counts one commit admitted on the per-key commuting path.
+func (r *Registry) IncKeyCommit() { r.keyCommits.Add(1) }
+
+// IncShardFallback counts one planned commit that fell back to shard locks.
+func (r *Registry) IncShardFallback() { r.shardFallbacks.Add(1) }
+
+// ObserveGroupBatch records the number of commits one group-commit drain
+// applied (always on; one observation per drain, not per commit).
+func (r *Registry) ObserveGroupBatch(n int) { r.groupBatch.Observe(uint64(n)) }
+
+// IncEpochRead counts one lock-free epoch snapshot read.
+func (r *Registry) IncEpochRead() { r.epochReads.Add(1) }
+
+// IncEpochRebuild counts one epoch snapshot rebuild.
+func (r *Registry) IncEpochRebuild() { r.epochRebuilds.Add(1) }
+
+// IncEpochFallback counts one epoch read invalidated by a concurrent commit.
+func (r *Registry) IncEpochFallback() { r.epochFallbacks.Add(1) }
 
 // ObserveFootprint records the number of shards an update write-locked.
 // Gated: call only when Observed.
@@ -308,6 +340,13 @@ type Snapshot struct {
 	Shards       []ShardCounters `json:"shards"`
 	StoreCommits uint64          `json:"storeCommits"`
 
+	KeyCommits     uint64            `json:"keyCommits"`     // commits on the per-key commuting path
+	ShardFallbacks uint64            `json:"shardFallbacks"` // planned commits demoted to shard locks
+	GroupBatch     HistogramSnapshot `json:"groupBatch"`     // commits per group-commit drain
+	EpochReads     uint64            `json:"epochReads"`     // lock-free snapshot reads
+	EpochRebuilds  uint64            `json:"epochRebuilds"`  // snapshot rebuilds
+	EpochFallbacks uint64            `json:"epochFallbacks"` // epoch reads that fell back to locking
+
 	Txn        map[string]TxnCounters       `json:"txn"`
 	TxnLatency map[string]HistogramSnapshot `json:"txnLatencyNs"`
 
@@ -349,12 +388,27 @@ func (s Snapshot) ShardLockTotals() (reads, writes uint64) {
 	return reads, writes
 }
 
+// KeyLockTotal sums per-key latch acquisitions across shards.
+func (s Snapshot) KeyLockTotal() uint64 {
+	var n uint64
+	for _, sc := range s.Shards {
+		n += sc.KeyLocks
+	}
+	return n
+}
+
 // Snapshot copies every instrument.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Observed:           r.observed.Load(),
 		Shards:             make([]ShardCounters, len(r.shards)),
 		StoreCommits:       r.commits.Value(),
+		KeyCommits:         r.keyCommits.Value(),
+		ShardFallbacks:     r.shardFallbacks.Value(),
+		GroupBatch:         r.groupBatch.snapshot(),
+		EpochReads:         r.epochReads.Value(),
+		EpochRebuilds:      r.epochRebuilds.Value(),
+		EpochFallbacks:     r.epochFallbacks.Value(),
 		Txn:                make(map[string]TxnCounters, int(numTxnKinds)),
 		TxnLatency:         make(map[string]HistogramSnapshot, int(numTxnKinds)),
 		Footprint:          r.footprint.snapshot(),
@@ -369,6 +423,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Shards[i] = ShardCounters{
 			ReadLocks:  r.shards[i].readLocks.v.Load(),
 			WriteLocks: r.shards[i].writeLocks.v.Load(),
+			KeyLocks:   r.shards[i].keyLocks.v.Load(),
 		}
 	}
 	for k := TxnKind(0); k < numTxnKinds; k++ {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/sched"
@@ -49,6 +50,10 @@ type Transact struct {
 	Actions []Action
 	// Export selects the policy for assertions outside the export set.
 	Export txn.ExportPolicy
+	// Footprint is the compiler's static footprint classification
+	// (footprint.Unknown for hand-built statements), forwarded to the
+	// transaction engine as a planning hint.
+	Footprint footprint.Class
 }
 
 // Branch is one guarded sequence of a selection/repetition/replication.
@@ -200,12 +205,13 @@ func (p *proc) runStmt(ctx context.Context, s Stmt) error {
 // current process environment.
 func (p *proc) request(t Transact) txn.Request {
 	return txn.Request{
-		Proc:    p.pid,
-		View:    p.view,
-		Env:     p.env,
-		Query:   t.Query,
-		Asserts: t.Asserts,
-		Export:  t.Export,
+		Proc:      p.pid,
+		View:      p.view,
+		Env:       p.env,
+		Query:     t.Query,
+		Asserts:   t.Asserts,
+		Export:    t.Export,
+		Footprint: t.Footprint,
 	}
 }
 

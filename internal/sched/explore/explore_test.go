@@ -186,7 +186,7 @@ func TestConfigForIsPure(t *testing.T) {
 
 func TestCorpusComplete(t *testing.T) {
 	want := []string{"barrier", "pairing", "philosophers", "proplist", "sort", "sum1", "sum3",
-		"micro-upsert", "micro-transfer", "micro-consensus", "micro-parallel", "micro-fair"}
+		"micro-upsert", "micro-commute", "micro-transfer", "micro-consensus", "micro-parallel", "micro-fair"}
 	got := Corpus()
 	if len(got) != len(want) {
 		t.Fatalf("corpus has %d programs, want %d", len(got), len(want))

@@ -62,6 +62,8 @@ const (
 	PointConsensusResolve              // consensus: offer resolution ordering
 	PointProcStep                      // process: between behavior statements
 	PointProcSpawn                     // process: spawn-group start ordering
+	PointLockKey                       // dataspace: before each key-latch acquisition
+	PointGroupCommit                   // dataspace: group-commit batch apply ordering
 	NumPoints                          // number of points (not a real point)
 )
 
@@ -98,6 +100,10 @@ func (p Point) String() string {
 		return "proc-step"
 	case PointProcSpawn:
 		return "proc-spawn"
+	case PointLockKey:
+		return "lock-key"
+	case PointGroupCommit:
+		return "group-commit"
 	default:
 		return "unknown"
 	}

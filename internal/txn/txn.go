@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/metrics"
@@ -103,6 +104,12 @@ type Request struct {
 	Asserts []pattern.Pattern
 	// Export selects the policy for assertions outside the export set.
 	Export ExportPolicy
+	// Footprint is the compiler's static classification of the
+	// transaction's footprint (footprint.Unknown when no classifier ran).
+	// Wildcard short-circuits dynamic footprint planning — the plan would
+	// certainly fail; Ground and Unknown leave the dynamic planner, which
+	// stays authoritative, to decide.
+	Footprint footprint.Class
 }
 
 // Result reports a transaction's outcome.
@@ -231,6 +238,12 @@ func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
 	if !req.View.Import.All || !req.View.Export.All {
 		return nil, false
 	}
+	if req.Footprint == footprint.Wildcard {
+		// The compiler proved a lead undetermined under the issuing
+		// environment; per-pattern planning below would reach the same
+		// conclusion the slow way.
+		return nil, false
+	}
 	keys := make([]dataspace.InterestKey, 0, len(req.Query.Patterns)+len(req.Asserts))
 	add := func(p pattern.Pattern) bool {
 		a := p.Arity()
@@ -258,11 +271,13 @@ func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
 	return keys, true
 }
 
-// update runs fn under the narrowest sound lock: the shards covering keys
-// when the footprint plan is exact, the whole store otherwise.
+// update runs fn under the narrowest sound lock: the commutativity-aware
+// key-level path when the footprint plan is exact (per-bucket latches plus
+// group commit, falling back to shard locks for plans the lock table cannot
+// latch), the whole store otherwise.
 func (e *Engine) update(req Request, keys []dataspace.InterestKey, planned bool, fn func(w dataspace.Writer) error) error {
 	if planned {
-		return e.store.UpdateKeys(req.Proc, keys, fn)
+		return e.store.UpdateCommuting(req.Proc, keys, fn)
 	}
 	return e.store.Update(req.Proc, fn)
 }
@@ -322,11 +337,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 	// decision stream is independent of evaluation timing.
 	forced := e.sc.ForceRetry()
 	keys, planned := footprintKeys(req)
-	snapshot := e.store.Snapshot
-	if planned {
-		snapshot = func(fn func(r dataspace.Reader)) { e.store.SnapshotKeys(keys, fn) }
-	}
-	snapshot(func(r dataspace.Reader) {
+	eval := func(r dataspace.Reader) {
 		snapVersion = r.Version()
 		win := req.View.Window(r, req.Env)
 		switch req.Query.Quant {
@@ -340,7 +351,41 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 				sols = []pattern.Binding{b}
 			}
 		}
-	})
+	}
+
+	if planned && !forced && len(req.Asserts) == 0 && retractFree(req.Query) {
+		// Epoch read path: a statically read-only planned transaction
+		// evaluates lock-free against epoch snapshots. A valid read (no
+		// footprint shard changed during evaluation) is final — success and
+		// failure alike serialize at the validation point, and commits on
+		// shards outside the footprint cannot affect the answer. A torn
+		// read is discarded and the transaction retries on the locked path.
+		if e.store.SnapshotKeysEpoch(keys, eval) {
+			if evalErr != nil {
+				return Result{}, evalErr
+			}
+			if len(sols) == 0 {
+				e.failures.Add(1)
+				return Result{Env: req.Env}, nil
+			}
+			e.commits.Add(1)
+			res := Result{OK: true, Env: req.Env}
+			for _, sol := range sols {
+				res.Solutions = append(res.Solutions, sol.Env)
+			}
+			if req.Query.Quant == pattern.Exists {
+				res.Env = sols[0].Env
+			}
+			return res, nil
+		}
+		sols, evalErr = nil, nil
+	}
+
+	snapshot := e.store.Snapshot
+	if planned {
+		snapshot = func(fn func(r dataspace.Reader)) { e.store.SnapshotKeys(keys, fn) }
+	}
+	snapshot(eval)
 	if evalErr != nil {
 		return Result{}, evalErr
 	}
@@ -430,6 +475,18 @@ func (e *Engine) lockedRetry(req Request, keys []dataspace.InterestKey, planned 
 		e.commits.Add(1)
 		return res, nil
 	}
+}
+
+// retractFree reports whether the query is statically retract-free: no
+// pattern carries a retract tag, so no solution can imply a deletion and a
+// successful evaluation needs no write lock at all.
+func retractFree(q pattern.Query) bool {
+	for _, p := range q.Patterns {
+		if p.Retract {
+			return false
+		}
+	}
+	return true
 }
 
 func anyRetracts(sols []pattern.Binding) bool {

@@ -114,13 +114,76 @@ func TestSystemMetricsInvariants(t *testing.T) {
 		t.Errorf("delayed commits %d, want 10", del.Commits)
 	}
 
-	// Lock discipline: every mutating commit write-locked at least one
-	// shard, and the 4-shard registry exposes per-shard resolution.
+	// Lock discipline: the 4-shard registry exposes per-shard resolution,
+	// and every environment Assert write-locked at least one shard. (Write
+	// locks no longer dominate commits: group commit drains a whole batch
+	// of key-mode commits under one acquisition.)
 	if len(snap.Shards) != 4 {
 		t.Fatalf("shard counters = %d, want 4", len(snap.Shards))
 	}
-	if _, writes := snap.ShardLockTotals(); writes < snap.StoreCommits {
-		t.Errorf("write locks %d < commits %d", writes, snap.StoreCommits)
+	if _, writes := snap.ShardLockTotals(); writes < envAsserts {
+		t.Errorf("write locks %d < env asserts %d", writes, envAsserts)
+	}
+
+	// Commutativity-aware commit path accounting. Every engine commit in
+	// this workload is planned (concrete leads, universal views), so each
+	// one either committed under key latches or was demoted to shard
+	// locking — nothing else.
+	if got := snap.KeyCommits + snap.ShardFallbacks; got != snap.TotalCommits() {
+		t.Errorf("key commits %d + shard fallbacks %d = %d, want %d engine commits",
+			snap.KeyCommits, snap.ShardFallbacks, got, snap.TotalCommits())
+	}
+	// Group-commit batches contain only key-mode commits (multi-shard key
+	// commits publish directly), batch sizes are at least one, and every
+	// key commit acquired at least one key latch.
+	if snap.GroupBatch.Sum > snap.KeyCommits {
+		t.Errorf("group-batched commits %d > key commits %d", snap.GroupBatch.Sum, snap.KeyCommits)
+	}
+	if snap.GroupBatch.Sum < snap.GroupBatch.Count {
+		t.Errorf("group batch sum %d < batch count %d (empty batch observed)",
+			snap.GroupBatch.Sum, snap.GroupBatch.Count)
+	}
+	if snap.KeyLockTotal() < snap.KeyCommits {
+		t.Errorf("key-latch acquisitions %d < key commits %d", snap.KeyLockTotal(), snap.KeyCommits)
+	}
+	// This workload is write-only from the engine's perspective (every
+	// query retracts), so the epoch read path must not have engaged.
+	if snap.EpochReads != 0 {
+		t.Errorf("epoch reads %d on a retract-only workload, want 0", snap.EpochReads)
+	}
+
+	// Epoch read path: statically read-only planned queries evaluate
+	// lock-free. With no concurrent writers every one must validate, and
+	// the first read of each touched shard rebuilds its snapshot.
+	const reads = 50
+	for i := 0; i < reads; i++ {
+		res, err := sys.Immediate(Request{
+			Proc:  ProcessID(1),
+			View:  Universal(),
+			Query: Q(P(C(Atom("ctr0")), V("n"))),
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("read %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	after := sys.Snapshot()
+	if got := after.EpochReads - snap.EpochReads; got != reads {
+		t.Errorf("epoch reads %d, want %d", got, reads)
+	}
+	if after.EpochFallbacks != snap.EpochFallbacks {
+		t.Errorf("epoch fallbacks %d with no concurrent writers, want 0",
+			after.EpochFallbacks-snap.EpochFallbacks)
+	}
+	if after.EpochRebuilds == 0 {
+		t.Error("epoch reads ran but no snapshot was ever rebuilt")
+	}
+	// Lock-free reads commit without key latches or store writes.
+	if after.KeyCommits != snap.KeyCommits || after.StoreCommits != snap.StoreCommits {
+		t.Errorf("read-only epoch phase changed commit counters: key %d->%d store %d->%d",
+			snap.KeyCommits, after.KeyCommits, snap.StoreCommits, after.StoreCommits)
+	}
+	if got := after.TotalCommits() - snap.TotalCommits(); got != reads {
+		t.Errorf("engine commits grew by %d over the read phase, want %d", got, reads)
 	}
 
 	// All waiters were satisfied, and shutdown leaves the gauge at zero.

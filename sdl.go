@@ -98,6 +98,12 @@ type StoreOption = dataspace.Option
 // the shards they touch, so disjoint transactions commit in parallel.
 var WithShards = dataspace.WithShards
 
+// WithCommuting enables or disables the commutativity-aware commit path
+// (per-key latches, group commit, epoch reads; on by default). Disabling
+// it demotes every planned commit to shard-level locking — the ablation
+// baseline of experiment E13.
+var WithCommuting = dataspace.WithCommuting
+
 // Expressions (test queries, computed fields, action arguments).
 type (
 	// Expr is a side-effect-free expression over variable bindings.

@@ -21,6 +21,10 @@ type Options struct {
 	// controller's seed. Nil (the default) leaves all hook points as
 	// no-ops.
 	Scheduler *SchedController
+	// DisableCommuting turns off the commutativity-aware commit path
+	// (per-key latches, group commit, epoch reads), demoting every planned
+	// commit to shard-level locking. The E13 ablation baseline.
+	DisableCommuting bool
 }
 
 // System bundles a complete SDL runtime: store, engine, consensus manager,
@@ -36,7 +40,8 @@ type System struct {
 
 // New assembles a System.
 func New(opts Options) *System {
-	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler))
+	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler),
+		WithCommuting(!opts.DisableCommuting))
 	var rec *Recorder
 	switch {
 	case opts.Trace > 0:

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race audit check bench bench-json bench-gate sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test clean
+.PHONY: all build vet test race audit check bench bench-json bench-gate sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test wal-test wal-smoke clean
 
 all: check
 
@@ -29,8 +29,8 @@ audit:
 analyze-smoke:
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=5s -run '^$$' ./internal/analysis
 
-# The full schedule-exploration campaign: 1000+ seeds across the thirteen
-# corpus programs (13 programs x 84 seeds = 1092 runs), light faults,
+# The full schedule-exploration campaign: 1000+ seeds across the fourteen
+# corpus programs (14 programs x 84 seeds = 1176 runs), light faults,
 # serializability-checked. Any failure prints a replayable seed.
 explore:
 	$(GO) run ./cmd/sdlexplore -seeds 84
@@ -45,8 +45,20 @@ explore-smoke:
 sched-test:
 	$(GO) test -race -count=2 ./internal/sched/...
 
+# The full durability campaign: 100 SIGKILL-and-recover iterations per
+# shard count plus a WAL decode fuzz pass. Any lost or duplicated
+# acknowledged commit fails the run.
+wal-test:
+	SDL_WAL_KILL_ITERS=100 $(GO) test -count=1 -run TestKillRecover -timeout 20m ./internal/wal
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=30s -run '^$$' ./internal/wal
+
+# A bounded kill-and-recover pass that rides the commit gate (the full
+# campaign lives in wal-test).
+wal-smoke:
+	SDL_WAL_KILL_ITERS=2 $(GO) test -count=1 -run TestKillRecover ./internal/wal
+
 # The verification gate: everything a commit must pass.
-check: vet build race audit analyze-smoke sched-test explore-smoke
+check: vet build race audit analyze-smoke sched-test explore-smoke wal-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -61,9 +73,9 @@ bench-json:
 	$(GO) run ./cmd/sdlbench -quick -json -rev $$(git rev-parse --short HEAD)
 
 # Regression gate: measure the working tree and diff it against the most
-# recent committed BENCH_*.json (>30% on E1/E9/E12/E13 fails).
+# recent committed BENCH_*.json (>30% on E1/E9/E12/E13/E14 fails).
 bench-gate:
-	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13
+	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13,E14
 	$(GO) run ./cmd/benchgate -new BENCH_gate.json BENCH_*.json
 	rm -f BENCH_gate.json
 
@@ -73,6 +85,8 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLex -fuzztime=10s -run '^$$' ./internal/lang
 	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./internal/pattern
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=10s -run '^$$' ./internal/analysis
+	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/wal
+	$(GO) test -fuzz=FuzzWALRoundTrip -fuzztime=10s -run '^$$' ./internal/wal
 
 clean:
 	$(GO) clean ./...

@@ -1,4 +1,4 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E13, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E14, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -122,6 +122,13 @@ func experiments() []experiment {
 			},
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E13CommutingUpserts(ctx, []int{2, 8, 64})
+			}},
+		{"E14",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E14DurableUpserts(ctx, []int{250})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E14DurableUpserts(ctx, []int{250, 1000})
 			}},
 	}
 }

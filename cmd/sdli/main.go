@@ -27,6 +27,13 @@
 //	-svg file                 write a tuple-lifetime timeline SVG
 //	-checkpoint file          write the final dataspace to a checkpoint
 //	-restore file             load a dataspace checkpoint before running
+//	-wal-dir dir              durable mode: recover the dataspace from this
+//	                          write-ahead-log directory, then log every
+//	                          commit durably before it becomes visible; the
+//	                          final state is checkpointed on exit
+//	-wal-sync commit|batch|interval
+//	                          WAL fsync policy (default commit): per-commit,
+//	                          group-amortized, or timer-driven
 //	-fmt                      format the program to stdout instead
 //	-vet                      run the static analyzer first and refuse to
 //	                          run if it reports errors; -vet=warn reports
@@ -56,6 +63,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/trace"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/vis"
+	"github.com/sdl-lang/sdl/internal/wal"
 )
 
 // currentMetrics is the registry of the store the running program uses.
@@ -161,6 +169,8 @@ func run(args []string) error {
 		svgPath   = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
 		restore   = fs.String("restore", "", "load a dataspace checkpoint before running")
 		ckptPath  = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
+		walDir    = fs.String("wal-dir", "", "recover from and durably log commits to this write-ahead-log directory")
+		walSync   = fs.String("wal-sync", "commit", "WAL fsync policy: commit, batch, or interval")
 
 		schedSeed   = fs.Int64("sched-seed", -1, "deterministic schedule-controller seed (-1 = off)")
 		schedFaults = fs.String("sched-faults", "light", "fault profile under -sched-seed: off, light, or heavy")
@@ -226,6 +236,41 @@ func run(args []string) error {
 	}
 
 	store := dataspace.New(dataspace.WithShards(*shards), dataspace.WithScheduler(sc))
+	var wlog *wal.Log
+	if *walDir != "" {
+		if *restore != "" {
+			return fmt.Errorf("-wal-dir and -restore are mutually exclusive: the WAL directory carries its own checkpoints")
+		}
+		syncMode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			return err
+		}
+		wlog, err = wal.Open(*walDir, wal.Options{Sync: syncMode, Metrics: store.Metrics()})
+		if err != nil {
+			return err
+		}
+		stats, err := wlog.Recover(store)
+		if err != nil {
+			wlog.Close()
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		if stats.Replayed > 0 || stats.CheckpointVersion > 0 {
+			fmt.Printf("wal: recovered to version %d (checkpoint v%d + %d replayed records", stats.Version, stats.CheckpointVersion, stats.Replayed)
+			if stats.TornSegments > 0 {
+				fmt.Printf(", %d torn bytes discarded", stats.TornBytes)
+			}
+			fmt.Printf(") in %v\n", stats.Elapsed.Round(time.Microsecond))
+		}
+		store.SetDurable(wlog)
+		defer func() {
+			if err := wlog.Checkpoint(store); err != nil {
+				fmt.Fprintln(os.Stderr, "sdli: wal checkpoint:", err)
+			}
+			if err := wlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sdli: wal close:", err)
+			}
+		}()
+	}
 	var rec *trace.Recorder
 	if *showTrace || *svgPath != "" {
 		rec = trace.NewRecorder(0)
@@ -367,5 +412,11 @@ func printMetrics(snap metrics.Snapshot) {
 		fmt.Printf("  checkpoints   %d writes (mean %.1fms), %d reads (mean %.1fms)\n",
 			snap.CheckpointWrite.Count, snap.CheckpointWrite.Mean()/1e6,
 			snap.CheckpointRead.Count, snap.CheckpointRead.Mean()/1e6)
+	}
+	if snap.WalAppends > 0 || snap.WalRecoveries > 0 {
+		fmt.Printf("  wal           %d appends (%d bytes), %d fsyncs (mean cover %.1f records), %d segments\n",
+			snap.WalAppends, snap.WalAppendBytes, snap.WalSyncs, snap.WalSyncCover.Mean(), snap.WalSegments)
+		fmt.Printf("  wal recovery  %d recoveries, %d records replayed, %d version gaps, mean %.1fms\n",
+			snap.WalRecoveries, snap.WalRecovered, snap.WalDiscarded, snap.WalRecoveryTime.Mean()/1e6)
 	}
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
+	"github.com/sdl-lang/sdl/internal/wal"
 	"github.com/sdl-lang/sdl/internal/workload"
 )
 
@@ -982,6 +984,88 @@ func E9ConcurrencyControl(_ context.Context, workerCounts []int) (*Table, error)
 				Metric{Name: mode.String(), Value: total / d.Seconds() / 1000, Unit: "kops/s"},
 				Count(mode.String()+" retries",
 					float64(snap.Txn[metrics.TxnImmediate.String()].Retries), "retries"))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E14DurableUpserts measures the durability tax: the E13 disjoint-key
+// upsert workload with the write-ahead log attached under each fsync
+// policy, against the volatile baseline. SyncCommit pays one fsync per
+// transaction; SyncBatch shares one fsync across the whole group that was
+// waiting, so its throughput recovers most of the volatile rate — the
+// batch/commit ratio is the experiment's headline. SyncInterval bounds
+// loss by wall-clock and never blocks a commit. The syncs/op column shows
+// the amortization directly.
+func E14DurableUpserts(_ context.Context, opsPerWorkerCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "durable upserts: WAL fsync policies vs volatile baseline (disjoint-key upserts)",
+		Note:  "durable-before-visible: a commit's waiters and consensus signals fire only after its log record is fsynced; group commit shares one fsync across concurrent commits",
+	}
+	const workers, keysPerWorker, shards = 32, 8, 8
+	// fsync parks an OS thread, not a core: on a single-P runtime the
+	// blocked P is handed off only when sysmon notices the syscall, which
+	// idles the CPU for most of each fsync and leaves no group behind the
+	// leader. Two Ps let committers pile up while the leader syncs.
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	modes := []struct {
+		name string
+		sync wal.SyncMode
+		wal  bool
+	}{
+		{"volatile", 0, false},
+		{"interval", wal.SyncInterval, true},
+		{"batch", wal.SyncBatch, true},
+		{"commit", wal.SyncCommit, true},
+	}
+	for _, opw := range opsPerWorkerCounts {
+		row := Row{Config: fmt.Sprintf("ops/worker=%d workers=%d shards=%d", opw, workers, shards)}
+		rate := map[string]float64{}
+		for _, m := range modes {
+			s := dataspace.New(dataspace.WithShards(shards))
+			if m.wal {
+				dir, err := os.MkdirTemp("", "sdl-bench-wal-")
+				if err != nil {
+					return nil, err
+				}
+				wlog, err := wal.Open(dir, wal.Options{Sync: m.sync, Metrics: s.Metrics()})
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				if _, err := wlog.Recover(s); err != nil {
+					wlog.Close()
+					os.RemoveAll(dir)
+					return nil, err
+				}
+				s.SetDurable(wlog)
+				defer func() {
+					wlog.Close()
+					os.RemoveAll(dir)
+				}()
+			}
+			d, err := commutingUpserts(txn.New(s, txn.Coarse), s, keysPerWorker, workers, opw)
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s opw=%d: %w", m.name, opw, err)
+			}
+			total := float64(workers * opw)
+			rate[m.name] = total / d.Seconds() / 1000
+			row.Metrics = append(row.Metrics,
+				Metric{Name: m.name, Value: rate[m.name], Unit: "kops/s"})
+			if m.wal {
+				snap := s.Metrics().Snapshot()
+				row.Metrics = append(row.Metrics,
+					Metric{Name: m.name + " syncs", Value: float64(snap.WalSyncs) / total, Unit: "syncs/op"})
+			}
+		}
+		if rate["commit"] > 0 {
+			row.Metrics = append(row.Metrics,
+				Metric{Name: "batch/commit", Value: rate["batch"] / rate["commit"], Unit: "x"})
 		}
 		t.Rows = append(t.Rows, row)
 	}

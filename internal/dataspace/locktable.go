@@ -287,6 +287,7 @@ func (k leadKey) equal(o leadKey) bool { return k == o }
 type commitItem struct {
 	kw   *keyWriter
 	rec  CommitRecord
+	dtok uint64 // durability wait token (set by the leader's apply)
 	done chan struct{}
 }
 
@@ -376,16 +377,20 @@ func (s *Store) UpdateCommuting(owner tuple.ProcessID, keys []InterestKey, fn fu
 	// 4. Publication: batched through the shard's commit queue when the
 	// footprint is a single shard, direct (holding every footprint mu, so
 	// snapshots never see a torn commit) when it spans several.
-	var rec CommitRecord
+	var (
+		rec  CommitRecord
+		dtok uint64
+	)
 	if lp.ss.count() == 1 {
 		var si uint32
 		lp.ss.forEach(func(i uint32) bool { si = i; return false })
-		rec = s.groupCommit(si, kw)
+		rec, dtok = s.groupCommit(si, kw)
 	} else {
-		rec = s.directCommit(kw)
+		rec, dtok = s.directCommit(kw)
 	}
 	unintent()
 	unlatch()
+	s.waitDurable(dtok)
 	s.notify(rec, kw.insShard, kw.delShard)
 	return nil
 }
@@ -406,7 +411,7 @@ func (s *Store) fallbackUpdate(keys []InterestKey, owner tuple.ProcessID, fn fun
 // for the whole batch. Items commute (their latch sets are disjoint, or
 // they would not be in the queue concurrently), so the apply order within
 // a batch is free; the exploration controller may permute it.
-func (s *Store) groupCommit(si uint32, kw *keyWriter) CommitRecord {
+func (s *Store) groupCommit(si uint32, kw *keyWriter) (CommitRecord, uint64) {
 	sh := s.shards[si]
 	item := &commitItem{kw: kw, done: make(chan struct{})}
 	sh.queue.mu.Lock()
@@ -419,7 +424,7 @@ func (s *Store) groupCommit(si uint32, kw *keyWriter) CommitRecord {
 
 	if !leader {
 		<-item.done
-		return item.rec
+		return item.rec, item.dtok
 	}
 
 	s.sc.Yield(sched.PointGroupCommit)
@@ -446,7 +451,7 @@ func (s *Store) groupCommit(si uint32, kw *keyWriter) CommitRecord {
 			batch = reordered
 		}
 		for _, it := range batch {
-			it.rec = s.applyBuffered(it.kw)
+			it.rec, it.dtok = s.applyBuffered(it.kw)
 		}
 		sh.seq.Add(1)
 		s.metrics.ObserveGroupBatch(len(batch))
@@ -455,31 +460,33 @@ func (s *Store) groupCommit(si uint32, kw *keyWriter) CommitRecord {
 		}
 	}
 	sh.mu.Unlock()
-	return item.rec
+	return item.rec, item.dtok
 }
 
 // directCommit publishes a multi-shard buffered commit, holding every
 // footprint shard's mu (ascending) for the apply so cross-shard snapshots
 // observe the commit atomically.
-func (s *Store) directCommit(kw *keyWriter) CommitRecord {
+func (s *Store) directCommit(kw *keyWriter) (CommitRecord, uint64) {
 	kw.lp.ss.forEach(func(i uint32) bool {
 		s.shards[i].mu.Lock()
 		s.metrics.IncShardWrite(i)
 		return true
 	})
-	rec := s.applyBuffered(kw)
+	rec, dtok := s.applyBuffered(kw)
 	s.bumpSeqs(kw.insShard, kw.delShard)
 	kw.lp.ss.forEach(func(i uint32) bool {
 		s.shards[i].mu.Unlock()
 		return true
 	})
-	return rec
+	return rec, dtok
 }
 
 // applyBuffered applies one keyWriter's buffered mutations to the live
-// maps, allocates the commit's version, and runs the hooks. Callers hold
-// the mu of every shard the buffer touches.
-func (s *Store) applyBuffered(kw *keyWriter) CommitRecord {
+// maps, allocates the commit's version, runs the hooks, and appends the
+// record to the durability sink (the commit's key latches are still held,
+// so conflicting commits append in version order). Callers hold the mu of
+// every shard the buffer touches.
+func (s *Store) applyBuffered(kw *keyWriter) (CommitRecord, uint64) {
 	for i, ins := range kw.inserted {
 		sh := s.shards[kw.insShard[i]]
 		sh.entries[ins.ID] = entry{t: ins.Tuple, owner: ins.Owner}
@@ -508,5 +515,9 @@ func (s *Store) applyBuffered(kw *keyWriter) CommitRecord {
 	for _, h := range s.onCommit {
 		h(rec)
 	}
-	return rec
+	var dtok uint64
+	if s.durable != nil {
+		dtok = s.durable.Append(rec)
+	}
+	return rec, dtok
 }

@@ -1,0 +1,63 @@
+package dataspace
+
+import "fmt"
+
+// ApplyRecovered replays one committed record's effects verbatim during
+// crash recovery: deletes are applied first (each target must be present
+// with the same tuple), then inserts are added under their original
+// instance IDs. Versions must arrive strictly increasing; gaps are legal
+// (a version missing from a durable suffix was never fsynced, and it
+// provably commuted with every durable record above it — see
+// refmodel.ReplayFrom). The store ends at the last replayed version, so
+// new commits never reuse a durable record's serialization position.
+//
+// Recovery is pre-visibility: no commit hooks run, nothing is appended to
+// a durability sink, and no waiters are notified. Call it only before the
+// store is shared (a recovery loop is single-goroutine by construction)
+// and before SetDurable attaches the log whose records are being replayed.
+func (s *Store) ApplyRecovered(rec CommitRecord) error {
+	if cur := s.version.Load(); rec.Version <= cur {
+		return fmt.Errorf("dataspace: recovered record has version %d, store already at %d (log suffix not strictly increasing)",
+			rec.Version, cur)
+	}
+	s.lockSet(&s.all)
+	defer s.unlockSet(&s.all)
+	var touchedIns, touchedDel []uint32
+	for _, del := range rec.Deleted {
+		si := s.shardIndex(indexKeyOf(del.Tuple))
+		sh := s.shards[si]
+		e, ok := sh.entries[del.ID]
+		if !ok {
+			return fmt.Errorf("dataspace: recovered delete of absent instance #%d %s (version %d)",
+				del.ID, del.Tuple, rec.Version)
+		}
+		if !e.t.Equal(del.Tuple) {
+			return fmt.Errorf("dataspace: recovered delete of #%d sees %s, store has %s (version %d)",
+				del.ID, del.Tuple, e.t, rec.Version)
+		}
+		delete(sh.entries, del.ID)
+		sh.indexRemove(del.ID, del.Tuple)
+		touchedDel = append(touchedDel, si)
+	}
+	for _, ins := range rec.Inserted {
+		si := s.shardIndex(indexKeyOf(ins.Tuple))
+		sh := s.shards[si]
+		if _, dup := sh.entries[ins.ID]; dup {
+			return fmt.Errorf("dataspace: recovered insert of duplicate instance #%d %s (version %d)",
+				ins.ID, ins.Tuple, rec.Version)
+		}
+		sh.entries[ins.ID] = entry{t: ins.Tuple, owner: ins.Owner}
+		sh.indexAdd(ins.ID, ins.Tuple)
+		touchedIns = append(touchedIns, si)
+		// Future IDs must not collide with recovered instances.
+		for {
+			cur := s.nextID.Load()
+			if cur >= uint64(ins.ID) || s.nextID.CompareAndSwap(cur, uint64(ins.ID)) {
+				break
+			}
+		}
+	}
+	s.bumpSeqs(touchedIns, touchedDel)
+	s.version.Store(rec.Version)
+	return nil
+}

@@ -202,6 +202,7 @@ type Store struct {
 
 	broadWake atomic.Bool
 	onCommit  []CommitHook
+	durable   DurableSink // nil unless a WAL is attached
 }
 
 // Option configures a Store under construction.
@@ -427,6 +428,41 @@ func (s *Store) OnCommit(h CommitHook) {
 	s.onCommit = append(s.onCommit, h)
 }
 
+// DurableSink makes commits durable before they become visible. Append is
+// called inside the commit's critical section — the same place hooks run,
+// after the version is allocated and while every conflicting commit is
+// still excluded by the commit's locks — so conflicting commits append in
+// version order and the sink's append order extends the conflict order.
+// Append must be fast and non-blocking (buffer and return a wait token);
+// WaitDurable blocks until the token's record is on stable storage. It is
+// called after the commit's locks are released but before its waiters are
+// notified and before the mutating call returns: a commit is observable
+// only once durable (durable-before-visible), yet the fsync wait never
+// extends lock hold times.
+type DurableSink interface {
+	Append(rec CommitRecord) (token uint64)
+	WaitDurable(token uint64)
+}
+
+// SetDurable attaches a durability sink (a write-ahead log). Must be called
+// before the store is shared between goroutines, and after any recovery
+// replay (recovered records are already durable and must not re-append).
+func (s *Store) SetDurable(d DurableSink) {
+	s.durable = d
+}
+
+// waitDurable blocks the committing goroutine until its record is on
+// stable storage (no-op without a sink). PointWalSync lets the exploration
+// harness perturb which commit reaches the log's sync leader election
+// first, permuting fsync batching.
+func (s *Store) waitDurable(token uint64) {
+	if s.durable == nil {
+		return
+	}
+	s.sc.Yield(sched.PointWalSync)
+	s.durable.WaitDurable(token)
+}
+
 // Reader provides read access to one consistent dataspace configuration.
 // It implements pattern.Source. Readers are only valid inside the callback
 // that received them.
@@ -540,7 +576,10 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 		s.unlockSet(&ss)
 		return false, err
 	}
-	var rec CommitRecord
+	var (
+		rec  CommitRecord
+		dtok uint64
+	)
 	changed := len(w.inserted) > 0 || len(w.deleted) > 0
 	if changed {
 		s.metrics.IncCommits()
@@ -560,9 +599,13 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 		for _, h := range s.onCommit {
 			h(rec)
 		}
+		if s.durable != nil {
+			dtok = s.durable.Append(rec)
+		}
 	}
 	s.unlockSet(&ss)
 	if changed {
+		s.waitDurable(dtok)
 		s.notify(rec, w.insShard, w.delShard)
 	}
 	return changed, nil

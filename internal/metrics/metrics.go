@@ -212,6 +212,16 @@ type Registry struct {
 
 	checkpointWrite *Histogram // ns per WriteCheckpoint (always on; rare)
 	checkpointRead  *Histogram // ns per ReadCheckpoint (always on; rare)
+
+	walAppends      Counter    // commit records appended to the WAL
+	walAppendBytes  Counter    // frame bytes appended (header + payload)
+	walSyncs        Counter    // fsync calls issued by the log
+	walSyncCover    *Histogram // records made durable per fsync (group-commit amortization)
+	walSegments     Counter    // segment rotations (new segment files opened)
+	walRecovered    Counter    // records replayed into a store during recovery
+	walDiscarded    Counter    // decoded-but-unusable records discarded at recovery (torn tail / version gap)
+	walRecoveries   Counter    // completed Recover calls
+	walRecoveryTime *Histogram // ns per Recover (always on; rare)
 }
 
 // NewRegistry returns a registry for a store with the given shard count.
@@ -227,6 +237,8 @@ func NewRegistry(shards int) *Registry {
 		consensusCommunity: NewHistogram(SizeBounds),
 		checkpointWrite:    NewHistogram(LatencyBounds),
 		checkpointRead:     NewHistogram(LatencyBounds),
+		walSyncCover:       NewHistogram(SizeBounds),
+		walRecoveryTime:    NewHistogram(LatencyBounds),
 	}
 	for k := range r.txnLatency {
 		r.txnLatency[k] = NewHistogram(LatencyBounds)
@@ -301,6 +313,49 @@ func (r *Registry) ObserveCheckpointRead(d time.Duration) {
 	r.checkpointRead.Observe(uint64(d.Nanoseconds()))
 }
 
+// --- recording (write-ahead log) ---
+
+// IncWalAppend counts one commit record appended to the WAL, n frame bytes
+// long. Safe on a nil receiver: the log may run without a registry.
+func (r *Registry) IncWalAppend(n int) {
+	if r == nil {
+		return
+	}
+	r.walAppends.Add(1)
+	r.walAppendBytes.Add(uint64(n))
+}
+
+// WalAppends returns the number of records appended to the WAL.
+func (r *Registry) WalAppends() uint64 { return r.walAppends.Value() }
+
+// ObserveWalSync counts one fsync covering n newly durable records.
+func (r *Registry) ObserveWalSync(n uint64) {
+	if r == nil {
+		return
+	}
+	r.walSyncs.Add(1)
+	r.walSyncCover.Observe(n)
+}
+
+// IncWalSegment counts one segment rotation.
+func (r *Registry) IncWalSegment() {
+	if r != nil {
+		r.walSegments.Add(1)
+	}
+}
+
+// ObserveWalRecovery records one completed recovery: replayed records,
+// discarded records (torn tail + version gap), and the wall time.
+func (r *Registry) ObserveWalRecovery(replayed, discarded uint64, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.walRecovered.Add(replayed)
+	r.walDiscarded.Add(discarded)
+	r.walRecoveries.Add(1)
+	r.walRecoveryTime.Observe(uint64(d.Nanoseconds()))
+}
+
 // --- recording (transaction engine / consensus) ---
 
 // IncTxnAttempt counts one execution of a kind-k transaction.
@@ -359,6 +414,16 @@ type Snapshot struct {
 
 	CheckpointWrite HistogramSnapshot `json:"checkpointWriteNs"`
 	CheckpointRead  HistogramSnapshot `json:"checkpointReadNs"`
+
+	WalAppends      uint64            `json:"walAppends"`      // commit records appended to the WAL
+	WalAppendBytes  uint64            `json:"walAppendBytes"`  // frame bytes appended
+	WalSyncs        uint64            `json:"walSyncs"`        // fsync calls
+	WalSyncCover    HistogramSnapshot `json:"walSyncCover"`    // records durable per fsync
+	WalSegments     uint64            `json:"walSegments"`     // segment rotations
+	WalRecovered    uint64            `json:"walRecovered"`    // records replayed during recovery
+	WalDiscarded    uint64            `json:"walDiscarded"`    // records discarded during recovery
+	WalRecoveries   uint64            `json:"walRecoveries"`   // completed recoveries
+	WalRecoveryTime HistogramSnapshot `json:"walRecoveryNs"`   // ns per recovery
 }
 
 // TotalAttempts sums transaction attempts across kinds.
@@ -418,6 +483,15 @@ func (r *Registry) Snapshot() Snapshot {
 		ConsensusCommunity: r.consensusCommunity.snapshot(),
 		CheckpointWrite:    r.checkpointWrite.snapshot(),
 		CheckpointRead:     r.checkpointRead.snapshot(),
+		WalAppends:         r.walAppends.Value(),
+		WalAppendBytes:     r.walAppendBytes.Value(),
+		WalSyncs:           r.walSyncs.Value(),
+		WalSyncCover:       r.walSyncCover.snapshot(),
+		WalSegments:        r.walSegments.Value(),
+		WalRecovered:       r.walRecovered.Value(),
+		WalDiscarded:       r.walDiscarded.Value(),
+		WalRecoveries:      r.walRecoveries.Value(),
+		WalRecoveryTime:    r.walRecoveryTime.snapshot(),
 	}
 	for i := range r.shards {
 		s.Shards[i] = ShardCounters{

@@ -264,12 +264,40 @@ func (m *Model) ApplyEffects(deleted, inserted []dataspace.Instance) error {
 // execution was not equivalent to its commit order. The schedule
 // exploration harness runs this after every explored seed.
 func Replay(recs []dataspace.CommitRecord) (*Model, error) {
-	m := &Model{}
 	for i, rec := range recs {
 		if rec.Version != uint64(i+1) {
 			return nil, fmt.Errorf("refmodel: commit %d has version %d, want %d (duplicate or missing serialization position)",
-				i, rec.Version, i+1)
+				i, rec.Version, uint64(i+1))
 		}
+	}
+	return ReplayFrom(nil, 0, recs)
+}
+
+// ReplayFrom is Replay seeded with a base configuration: the model starts
+// from the base instances (a checkpoint's contents) at baseVersion, and
+// the records must carry strictly increasing versions > baseVersion.
+// Unlike Replay, version GAPS are legal: the WAL recovery path replays the
+// durable suffix of a crashed run, and a commit missing from it was never
+// fsynced — but conflicting commits append to the log in version order, so
+// every durable record with a version above the missing one provably
+// commuted with it, and the durable records applied in version order are
+// still a legal serial history. Duplicate versions remain an error: two
+// records claiming one serialization position can never replay soundly.
+func ReplayFrom(base []dataspace.Instance, baseVersion uint64, recs []dataspace.CommitRecord) (*Model, error) {
+	m := &Model{}
+	for _, inst := range base {
+		m.instances = append(m.instances, Instance{ID: inst.ID, Tuple: inst.Tuple, Owner: inst.Owner})
+		if inst.ID > m.nextID {
+			m.nextID = inst.ID
+		}
+	}
+	prev := baseVersion
+	for i, rec := range recs {
+		if rec.Version <= prev {
+			return nil, fmt.Errorf("refmodel: commit %d has version %d after %d (not strictly increasing)",
+				i, rec.Version, prev)
+		}
+		prev = rec.Version
 		if err := m.ApplyEffects(rec.Deleted, rec.Inserted); err != nil {
 			return nil, fmt.Errorf("refmodel: replaying version %d: %w", rec.Version, err)
 		}

@@ -24,6 +24,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"github.com/sdl-lang/sdl/internal/dataspace"
@@ -34,6 +35,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/trace"
 	"github.com/sdl-lang/sdl/internal/tuple"
 	"github.com/sdl-lang/sdl/internal/txn"
+	"github.com/sdl-lang/sdl/internal/wal"
 )
 
 // Options configures an exploration campaign.
@@ -191,6 +193,31 @@ func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (in
 	store := dataspace.New(dataspace.WithShards(shards), dataspace.WithScheduler(c))
 	clog := trace.NewCommitLog()
 	clog.Attach(store)
+
+	// Durable programs run with a WAL attached; the sync mode is a pure
+	// function of the seed so a reported seed reproduces its fsync timing.
+	var (
+		wlog   *wal.Log
+		walDir string
+	)
+	if p.Durable {
+		var err error
+		walDir, err = os.MkdirTemp("", "sdl-explore-wal-")
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal dir: %w", err)
+		}
+		defer os.RemoveAll(walDir)
+		syncMode := wal.SyncMode(sched.Decide(seed, sched.PointWalSync, 0) % 3)
+		wlog, err = wal.Open(walDir, wal.Options{Sync: syncMode})
+		if err != nil {
+			return 0, nil, fmt.Errorf("wal open: %w", err)
+		}
+		if _, err := wlog.Recover(store); err != nil {
+			return 0, nil, fmt.Errorf("wal recover (empty): %w", err)
+		}
+		store.SetDurable(wlog)
+	}
+
 	engine := txn.New(store, mode)
 	rt := process.NewRuntime(engine, nil)
 
@@ -205,9 +232,104 @@ func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (in
 		tr = c.Trace()
 	}
 	if runErr != nil {
+		if wlog != nil {
+			wlog.Close()
+		}
 		return c.Decisions(), tr, fmt.Errorf("run: %w", runErr)
 	}
-	return c.Decisions(), tr, verify(p, store, clog)
+	verr := verify(p, store, clog)
+	if verr == nil && wlog != nil {
+		verr = verifyDurable(seed, shards, wlog, walDir, clog)
+	} else if wlog != nil {
+		wlog.Close()
+	}
+	return c.Decisions(), tr, verr
+}
+
+// verifyDurable closes the log, simulates a crash by truncating the tail
+// segment at a seed-derived byte offset (sched.PointWalCrash), and checks
+// the durability contract on the damaged directory:
+//
+//   - every record ReadState returns must be byte-identical in effect to
+//     the commit-log record holding the same version (the log never
+//     invents or mangles history);
+//   - the surviving versions are strictly increasing, and every version
+//     missing below their maximum commuted out (enforced by ReplayFrom
+//     replaying cleanly);
+//   - recovering a fresh store from the damaged directory reproduces the
+//     reference replay's multiset exactly.
+func verifyDurable(seed uint64, shards int, wlog *wal.Log, dir string, clog *trace.CommitLog) error {
+	if err := wlog.Close(); err != nil {
+		return fmt.Errorf("wal close: %w", err)
+	}
+	segs, err := wal.SegmentFiles(dir)
+	if err != nil || len(segs) == 0 {
+		return fmt.Errorf("wal segments: %v (%d files)", err, len(segs))
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		return err
+	}
+	// Cut anywhere from "right after the header" to "no damage at all".
+	span := info.Size() - wal.SegmentHeaderLen + 1
+	cut := wal.SegmentHeaderLen + int64(sched.Decide(seed, sched.PointWalCrash, 0)%uint64(span))
+	if err := os.Truncate(last, cut); err != nil {
+		return fmt.Errorf("crash cut: %w", err)
+	}
+
+	st, err := wal.ReadState(dir)
+	if err != nil {
+		return fmt.Errorf("post-crash read: %w", err)
+	}
+	byVersion := map[uint64]dataspace.CommitRecord{}
+	for _, rec := range clog.Commits() {
+		byVersion[rec.Version] = rec
+	}
+	for _, rec := range st.Records {
+		want, ok := byVersion[rec.Version]
+		if !ok {
+			return fmt.Errorf("durability: recovered version %d never committed", rec.Version)
+		}
+		if !sameEffects(rec, want) {
+			return fmt.Errorf("durability: recovered version %d diverges from its commit record", rec.Version)
+		}
+	}
+	model, err := refmodel.ReplayFrom(st.Base, st.CheckpointVersion, st.Records)
+	if err != nil {
+		return fmt.Errorf("durability: surviving log does not replay: %w", err)
+	}
+
+	s2 := dataspace.New(dataspace.WithShards(shards))
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return fmt.Errorf("post-crash open: %w", err)
+	}
+	defer l2.Close()
+	if _, err := l2.Recover(s2); err != nil {
+		return fmt.Errorf("post-crash recover: %w", err)
+	}
+	if !refmodel.SameMultiset(model.Multiset(), refmodel.MultisetOf(s2)) {
+		return fmt.Errorf("durability: recovered store diverges from reference replay of the surviving log")
+	}
+	return nil
+}
+
+func sameEffects(a, b dataspace.CommitRecord) bool {
+	if len(a.Inserted) != len(b.Inserted) || len(a.Deleted) != len(b.Deleted) {
+		return false
+	}
+	for i := range a.Inserted {
+		if a.Inserted[i].ID != b.Inserted[i].ID || !a.Inserted[i].Tuple.Equal(b.Inserted[i].Tuple) {
+			return false
+		}
+	}
+	for i := range a.Deleted {
+		if a.Deleted[i].ID != b.Deleted[i].ID || !a.Deleted[i].Tuple.Equal(b.Deleted[i].Tuple) {
+			return false
+		}
+	}
+	return true
 }
 
 // verify runs the post-run checks described in the package comment.

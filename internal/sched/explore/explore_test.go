@@ -141,6 +141,68 @@ func TestInjectedBugCaughtAndShrunk(t *testing.T) {
 	t.Logf("caught and shrunk: %s", f)
 }
 
+// TestDurableCrashCutsExplored drives micro-durable across seeds: each
+// run attaches a WAL (sync mode seed-derived), truncates the log at a
+// seed-derived cut after the run, and verifies recovery against the
+// reference replay. Any failure here is a durability bug, not noise.
+func TestDurableCrashCutsExplored(t *testing.T) {
+	p, ok := Find("micro-durable")
+	if !ok {
+		t.Fatal("micro-durable missing")
+	}
+	rep := Run(Options{
+		Seeds:    testSeeds(t) * 3,
+		Faults:   sched.Light(),
+		Timeout:  time.Minute,
+		Programs: []Program{p},
+		Log:      t.Logf,
+	})
+	for _, f := range rep.Failures {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestDurableInjectedBugShrinks pins that the shrinking loop works with
+// the WAL attached: the racy-version fault must be caught on the durable
+// program and the reported (seed, limit) pair must replay through the
+// full open-recover-run-crash-verify cycle.
+func TestDurableInjectedBugShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed fault campaign skipped in -short")
+	}
+	p, ok := Find("micro-durable")
+	if !ok {
+		t.Fatal("micro-durable missing")
+	}
+	opts := Options{
+		Seeds:       30,
+		Faults:      sched.Faults{Yield: 64, RacyVersionBug: 255},
+		Shards:      8,
+		Timeout:     time.Minute,
+		Programs:    []Program{p},
+		MaxFailures: 1,
+		Log:         t.Logf,
+	}
+	rep := Run(opts)
+	if len(rep.Failures) == 0 {
+		t.Fatal("injected racy-version bug survived on the durable program")
+	}
+	f := rep.Failures[0]
+	if f.MinLimit < 0 {
+		t.Fatalf("failure was not shrunk: %+v", f)
+	}
+	reproduced := false
+	for i := 0; i < 8 && !reproduced; i++ {
+		if _, err := RunSeed(p, f.Seed, f.MinLimit, opts); err != nil {
+			reproduced = true
+		}
+	}
+	if !reproduced {
+		t.Errorf("seed %d limit %d did not reproduce through the WAL path", f.Seed, f.MinLimit)
+	}
+	t.Logf("caught and shrunk through WAL: %s", f)
+}
+
 // TestVerifyCatchesBadMarkers exercises the all-or-nothing checker
 // directly: a partial-fire commit must be rejected.
 func TestShrinkKeepsUnreproducibleFailure(t *testing.T) {
@@ -186,7 +248,8 @@ func TestConfigForIsPure(t *testing.T) {
 
 func TestCorpusComplete(t *testing.T) {
 	want := []string{"barrier", "pairing", "philosophers", "proplist", "sort", "sum1", "sum3",
-		"micro-upsert", "micro-commute", "micro-transfer", "micro-consensus", "micro-parallel", "micro-fair"}
+		"micro-upsert", "micro-commute", "micro-transfer", "micro-consensus", "micro-parallel",
+		"micro-durable", "micro-fair"}
 	got := Corpus()
 	if len(got) != len(want) {
 		t.Fatalf("corpus has %d programs, want %d", len(got), len(want))

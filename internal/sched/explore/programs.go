@@ -28,6 +28,13 @@ type Program struct {
 	// MarkerLead disables the check.
 	MarkerLead  string
 	MarkerCount int
+	// Durable runs the program with a write-ahead log attached and, after
+	// the normal verification, simulates a crash: the log's tail is
+	// truncated at a seed-derived cut (sched.PointWalCrash), the surviving
+	// records are checked to be a consistent subset of the commit log, and
+	// recovery from the damaged directory must reproduce their reference
+	// replay exactly.
+	Durable bool
 }
 
 // exact returns a Check asserting the final contents equal want, a
@@ -174,6 +181,30 @@ main
 end
 `
 
+	// microDurableSrc mixes the two commit paths the WAL must order — the
+	// key-latch upsert path (Bump, contended read-modify-write) and plain
+	// disjoint asserts (Put) — so the appended record stream interleaves
+	// commuting and conflicting commits. The durability harness then cuts
+	// the log at a seed-chosen byte and recovery must reconstruct a
+	// consistent prefix-equivalent of the committed history.
+	microDurableSrc = `
+process Bump(k)
+behavior
+  exists v: <k, ?v>! => <k, ?v + 1>;
+  exists v: <k, ?v>! => <k, ?v + 1>
+end
+
+process Put(k)
+behavior
+  -> <log, k>
+end
+
+main
+  -> <21, 0>, <22, 0>;
+  spawn Bump(21), spawn Bump(22), spawn Put(1), spawn Put(2)
+end
+`
+
 	// microFairSrc pins weak fairness: the Waiter's delayed transaction is
 	// enabled from the first configuration and stays enabled (nothing
 	// retracts <go, 1>), so under every explored schedule — spurious
@@ -317,6 +348,15 @@ func Corpus() []Program {
 				}
 				return nil
 			},
+		},
+		{
+			Name: "micro-durable",
+			Src:  microDurableSrc,
+			Check: exact(map[string]int{
+				"<21, 2>": 1, "<22, 2>": 1,
+				"<log, 1>": 1, "<log, 2>": 1,
+			}),
+			Durable: true,
 		},
 		{
 			Name: "micro-fair",

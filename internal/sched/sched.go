@@ -64,6 +64,8 @@ const (
 	PointProcSpawn                     // process: spawn-group start ordering
 	PointLockKey                       // dataspace: before each key-latch acquisition
 	PointGroupCommit                   // dataspace: group-commit batch apply ordering
+	PointWalSync                       // wal: before a commit blocks on its durability wait
+	PointWalCrash                      // wal: crash-injection cut selection (exploration only)
 	NumPoints                          // number of points (not a real point)
 )
 
@@ -104,6 +106,10 @@ func (p Point) String() string {
 		return "lock-key"
 	case PointGroupCommit:
 		return "group-commit"
+	case PointWalSync:
+		return "wal-sync"
+	case PointWalCrash:
+		return "wal-crash"
 	default:
 		return "unknown"
 	}

@@ -3,6 +3,7 @@ package trace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/sdl-lang/sdl/internal/dataspace"
 )
@@ -15,6 +16,12 @@ import (
 // its version from one global atomic, replaying the records in version
 // order is an equivalent serial execution of the concurrent history.
 type CommitLog struct {
+	// detached flips when no consumer will read further records; the
+	// observe hook cannot be unsubscribed from the store, so it gates
+	// itself instead. Checked without the mutex: the hook runs inside
+	// commit critical sections, and a detached log must cost them nothing.
+	detached atomic.Bool
+
 	mu   sync.Mutex
 	recs []dataspace.CommitRecord
 }
@@ -28,14 +35,27 @@ func (l *CommitLog) Attach(s *dataspace.Store) {
 	s.OnCommit(l.observe)
 }
 
+// Detach stops recording. Commit hooks cannot be removed from a store, so
+// this is how a consumer that is done reading (an audit that has run, a
+// bench harness past its measured phase) stops paying the per-commit copy
+// of the effect slices. Records gathered so far stay readable. A commit
+// racing with Detach may or may not be recorded — callers detach only
+// once they no longer care.
+func (l *CommitLog) Detach() { l.detached.Store(true) }
+
 func (l *CommitLog) observe(rec dataspace.CommitRecord) {
+	if l.detached.Load() {
+		return
+	}
 	// Copy the effect slices: they are owned by the committing writer and
-	// only valid during the hook call.
-	cp := dataspace.CommitRecord{
-		Version:  rec.Version,
-		Owner:    rec.Owner,
-		Inserted: append([]dataspace.Instance(nil), rec.Inserted...),
-		Deleted:  append([]dataspace.Instance(nil), rec.Deleted...),
+	// only valid during the hook call. Len-gated so effect-free sides of a
+	// commit don't allocate.
+	cp := dataspace.CommitRecord{Version: rec.Version, Owner: rec.Owner}
+	if len(rec.Inserted) > 0 {
+		cp.Inserted = append([]dataspace.Instance(nil), rec.Inserted...)
+	}
+	if len(rec.Deleted) > 0 {
+		cp.Deleted = append([]dataspace.Instance(nil), rec.Deleted...)
 	}
 	l.mu.Lock()
 	l.recs = append(l.recs, cp)

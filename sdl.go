@@ -40,6 +40,7 @@ import (
 	"github.com/sdl-lang/sdl/internal/txn"
 	"github.com/sdl-lang/sdl/internal/view"
 	"github.com/sdl-lang/sdl/internal/vis"
+	"github.com/sdl-lang/sdl/internal/wal"
 )
 
 // Values and tuples.
@@ -327,6 +328,48 @@ var (
 	// WithScheduler installs a controller on a store built directly via
 	// NewStore (System users set Options.Scheduler instead).
 	WithScheduler = dataspace.WithScheduler
+)
+
+// Durability. The quickest entry point is Options.WALDir with Open; the
+// re-exports below serve programs managing the log directly.
+type (
+	// WAL is a segmented, CRC-framed write-ahead log. Attached to a store
+	// (Store.SetDurable), every commit is appended inside its critical
+	// section and the committing transaction blocks until the record is
+	// durable — before waiters or consensus signals can observe it.
+	WAL = wal.Log
+	// WALOptions configures OpenWAL (sync policy, segment size, interval).
+	WALOptions = wal.Options
+	// WALSyncMode selects when appended records are fsynced.
+	WALSyncMode = wal.SyncMode
+	// WALRecoveryStats reports what WAL.Recover reconstructed.
+	WALRecoveryStats = wal.RecoveryStats
+	// WALState is the pure read of a log directory's durable evidence
+	// (checkpoint base plus decodable record suffix) used by crash-test
+	// harnesses before recovery mutates the directory.
+	WALState = wal.State
+)
+
+// Fsync policies.
+const (
+	// WALSyncCommit fsyncs every commit before it becomes visible.
+	WALSyncCommit = wal.SyncCommit
+	// WALSyncBatch amortizes: one fsync covers every record appended by
+	// the group that was waiting, so concurrent commits share syncs.
+	WALSyncBatch = wal.SyncBatch
+	// WALSyncInterval fsyncs on a timer; commits do not wait (bounded
+	// data loss on power failure, none on process crash).
+	WALSyncInterval = wal.SyncInterval
+)
+
+var (
+	// OpenWAL opens (or creates) a log directory. Recover into a fresh
+	// store before attaching it to one that accepts commits.
+	OpenWAL = wal.Open
+	// ParseWALSyncMode maps "commit" | "batch" | "interval" to a mode.
+	ParseWALSyncMode = wal.ParseSyncMode
+	// ReadWALState reads a log directory without modifying it.
+	ReadWALState = wal.ReadState
 )
 
 // Observability.

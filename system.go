@@ -25,6 +25,16 @@ type Options struct {
 	// (per-key latches, group commit, epoch reads), demoting every planned
 	// commit to shard-level locking. The E13 ablation baseline.
 	DisableCommuting bool
+	// WALDir enables durability: commits are appended to a write-ahead
+	// log in this directory and become visible only once durable (per
+	// WALSync), and Open recovers any state the directory already holds —
+	// newest valid checkpoint plus the log suffix, verified against the
+	// reference semantics — before the system accepts work. Empty
+	// disables the WAL.
+	WALDir string
+	// WALSync selects the fsync policy (WALSyncCommit, WALSyncBatch,
+	// WALSyncInterval). Default WALSyncCommit.
+	WALSync WALSyncMode
 }
 
 // System bundles a complete SDL runtime: store, engine, consensus manager,
@@ -36,12 +46,49 @@ type System struct {
 	Cons     *ConsensusManager
 	Runtime  *Runtime
 	Recorder *Recorder // nil unless Options.Trace was set
+	// WAL is the open write-ahead log (nil unless Options.WALDir was set).
+	WAL *WAL
+	// Recovery reports what the WAL reconstructed at Open (nil without a
+	// WAL; zero-valued for a fresh directory).
+	Recovery *WALRecoveryStats
 }
 
-// New assembles a System.
+// New assembles a System. It panics if Options.WALDir is set and the log
+// cannot be opened or recovered — durable systems should prefer Open,
+// which returns the error (and the recovery report) instead.
 func New(opts Options) *System {
+	sys, err := Open(opts)
+	if err != nil {
+		panic("sdl: " + err.Error())
+	}
+	return sys
+}
+
+// Open assembles a System, recovering durable state first when
+// Options.WALDir is set: the newest valid checkpoint is restored, the log
+// suffix is replayed and verified against the reference semantics, the
+// recovered state is re-checkpointed, and only then is the log attached so
+// every commit is durable before it becomes visible.
+func Open(opts Options) (*System, error) {
 	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler),
 		WithCommuting(!opts.DisableCommuting))
+	var (
+		wlog     *WAL
+		recovery *WALRecoveryStats
+	)
+	if opts.WALDir != "" {
+		var err error
+		wlog, err = OpenWAL(opts.WALDir, WALOptions{Sync: opts.WALSync, Metrics: store.Metrics()})
+		if err != nil {
+			return nil, err
+		}
+		recovery, err = wlog.Recover(store)
+		if err != nil {
+			wlog.Close()
+			return nil, err
+		}
+		store.SetDurable(wlog)
+	}
 	var rec *Recorder
 	switch {
 	case opts.Trace > 0:
@@ -58,14 +105,26 @@ func New(opts Options) *System {
 	engine := NewEngine(store, mode)
 	cons := NewConsensusManager(engine)
 	rt := NewRuntime(engine, cons)
-	return &System{Store: store, Engine: engine, Cons: cons, Runtime: rt, Recorder: rec}
+	return &System{Store: store, Engine: engine, Cons: cons, Runtime: rt, Recorder: rec,
+		WAL: wlog, Recovery: recovery}, nil
 }
 
-// Close shuts the system down: processes are cancelled and the consensus
-// detector stops.
-func (s *System) Close() {
+// Close shuts the system down: processes are cancelled, the consensus
+// detector stops, and — when a WAL is attached — the final state is
+// checkpointed and the log is synced and closed, so the next Open restores
+// from the checkpoint without replay. The returned error reports
+// checkpoint or log-close failures (always nil without a WAL).
+func (s *System) Close() error {
 	s.Runtime.Shutdown()
 	s.Cons.Close()
+	if s.WAL == nil {
+		return nil
+	}
+	ckptErr := s.WAL.Checkpoint(s.Store)
+	if err := s.WAL.Close(); err != nil {
+		return err
+	}
+	return ckptErr
 }
 
 // Metrics returns the system's metrics registry (shared by the store,

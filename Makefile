@@ -1,16 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race audit check bench bench-json bench-gate sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test wal-test wal-smoke clean
+.PHONY: all build vet test race audit check bench bench-json bench-gate analyze-bench sweep fuzz-smoke analyze-smoke explore explore-smoke sched-test wal-test wal-smoke clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-# go vet over the Go sources, then sdlvet over the shipped SDL corpus —
-# the examples must stay clean under every analyzer pass.
+# go vet over the Go sources, sdllint over the store's lock discipline,
+# then sdlvet over the shipped SDL corpus — the examples must stay clean
+# under every analyzer pass.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sdllint internal/dataspace
 	$(GO) run ./cmd/sdlvet ./examples/sdl/*.sdl
 
 test:
@@ -73,11 +75,18 @@ bench-json:
 	$(GO) run ./cmd/sdlbench -quick -json -rev $$(git rev-parse --short HEAD)
 
 # Regression gate: measure the working tree and diff it against the most
-# recent committed BENCH_*.json (>30% on E1/E9/E12/E13/E14 fails).
+# recent committed BENCH_*.json (>30% on E1/E9/E12/E13/E14/E15 fails).
 bench-gate:
-	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13,E14
+	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13,E14,E15
 	$(GO) run ./cmd/benchgate -new BENCH_gate.json BENCH_*.json
 	rm -f BENCH_gate.json
+
+# The refiner's admission trajectory: run E15 (fast-path admission % under
+# view restriction, refined vs unrefined) and record it into
+# BENCH_<shortrev>.json so committed runs chart how much of the workload
+# the interprocedural analysis keeps on the key-latch path.
+analyze-bench:
+	$(GO) run ./cmd/sdlbench -quick -json -rev $$(git rev-parse --short HEAD) -run E15
 
 # Run each fuzz target briefly — a smoke pass, not a campaign.
 fuzz-smoke:
@@ -85,6 +94,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLex -fuzztime=10s -run '^$$' ./internal/lang
 	$(GO) test -fuzz=FuzzMatch -fuzztime=10s -run '^$$' ./internal/pattern
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=10s -run '^$$' ./internal/analysis
+	$(GO) test -fuzz=FuzzDataflow -fuzztime=10s -run '^$$' ./internal/analysis/dataflow
 	$(GO) test -fuzz=FuzzWALDecode -fuzztime=10s -run '^$$' ./internal/wal
 	$(GO) test -fuzz=FuzzWALRoundTrip -fuzztime=10s -run '^$$' ./internal/wal
 

@@ -138,3 +138,19 @@ func BenchmarkE13CommutingUpserts(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE15RefinedAdmission runs the view-restricted disjoint-key upsert
+// workload once per iteration, with the footprint class the interprocedural
+// refiner proves (refined=true, the key-latch path) or the unrefined
+// default (refined=false, every commit under the full lock set). The
+// admission split is deterministic; the throughput gap needs hardware
+// parallelism, like E13.
+func BenchmarkE15RefinedAdmission(b *testing.B) {
+	for _, refined := range []bool{false, true} {
+		b.Run(fmt.Sprintf("refined=%v", refined), func(b *testing.B) {
+			benchExperiment(b, func(context.Context) error {
+				return bench.RefinedUpserts(refined)
+			})
+		})
+	}
+}

@@ -1,4 +1,4 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E14, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E15, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -129,6 +129,13 @@ func experiments() []experiment {
 			},
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E14DurableUpserts(ctx, []int{250, 1000})
+			}},
+		{"E15",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E15RefinedAdmission(ctx, []int{8})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E15RefinedAdmission(ctx, []int{2, 8, 64})
 			}},
 	}
 }

@@ -38,6 +38,10 @@
 //	-vet                      run the static analyzer first and refuse to
 //	                          run if it reports errors; -vet=warn reports
 //	                          but runs anyway
+//	-refine                   apply the interprocedural footprint refiner
+//	                          at compile time (default true); -refine=false
+//	                          keeps the compiler's intraprocedural
+//	                          classification only
 package main
 
 import (
@@ -55,6 +59,7 @@ import (
 	"time"
 
 	"github.com/sdl-lang/sdl/internal/analysis"
+	"github.com/sdl-lang/sdl/internal/analysis/dataflow"
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/lang"
 	"github.com/sdl-lang/sdl/internal/metrics"
@@ -174,6 +179,7 @@ func run(args []string) error {
 
 		schedSeed   = fs.Int64("sched-seed", -1, "deterministic schedule-controller seed (-1 = off)")
 		schedFaults = fs.String("sched-faults", "light", "fault profile under -sched-seed: off, light, or heavy")
+		refine      = fs.Bool("refine", true, "apply the interprocedural footprint refiner (analysis/dataflow) at compile time")
 	)
 	vet := &vetFlag{mode: "off"}
 	fs.Var(vet, "vet", `run the static analyzer first: "on" refuses to run on errors, "warn" reports and runs anyway`)
@@ -320,7 +326,12 @@ func run(args []string) error {
 		})
 		defer watcher.Stop()
 	}
-	compiled, err := lang.Compile(prog)
+	var compiled *lang.Compiled
+	if *refine {
+		compiled, _, err = dataflow.Compile(prog)
+	} else {
+		compiled, err = lang.Compile(prog)
+	}
 	if err != nil {
 		return err
 	}
@@ -404,6 +415,14 @@ func printMetrics(snap metrics.Snapshot) {
 			kind, c.Attempts, c.Commits, c.Retries, c.Blocks, lat.Mean()/1e3)
 	}
 	fmt.Printf("  footprint     mean %.2f shards/update\n", snap.Footprint.Mean())
+	fmt.Printf("  commit paths  %d key-latched, %d shard fallbacks, %d coarse\n",
+		snap.KeyCommits, snap.ShardFallbacks, snap.CoarseCommits)
+	for _, class := range []string{"ground", "ground-keys", "wildcard", "unknown"} {
+		if n := snap.FootprintAdmissions[class]; n > 0 {
+			fmt.Printf("  admit %-8s %d executions, %d planned\n",
+				class, n, snap.FootprintPlanned[class])
+		}
+	}
 	fmt.Printf("  wakeups       mean fan-out %.2f, waiter depth %d\n",
 		snap.WakeupFanout.Mean(), snap.WaiterDepth)
 	fmt.Printf("  consensus     %d detection rounds, mean community %.1f\n",

@@ -1,0 +1,95 @@
+// Package fixture seeds one violation per lock-discipline rule; the test
+// asserts sdllint reports each at its expected line. This file is under
+// testdata, so the Go tool never builds it — it only has to parse.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu      sync.RWMutex
+	intent  sync.RWMutex
+	latches [8]sync.Mutex
+	queue   struct{ mu sync.Mutex }
+	entries map[int]int
+}
+
+type store struct {
+	shards  []*shard
+	durable interface{ Append(any) uint64 }
+}
+
+// orderInversion takes the shard mu before the intent lock: mu is class 3,
+// intent is class 2, and the ladder only descends.
+func orderInversion(sh *shard) {
+	sh.mu.Lock()
+	sh.intent.Lock() // want lock-order
+	sh.intent.Unlock()
+	sh.mu.Unlock()
+}
+
+// latchAfterIntent latches a key bucket after taking the intent lock —
+// the commuting path must latch first.
+func latchAfterIntent(sh *shard) {
+	sh.intent.RLock()
+	sh.latches[3].Lock() // want lock-order
+	sh.latches[3].Unlock()
+	sh.intent.RUnlock()
+}
+
+// leafViolation acquires a shard lock while holding the group-commit
+// queue mutex, which is a leaf.
+func leafViolation(sh *shard) {
+	sh.queue.mu.Lock()
+	sh.mu.Lock() // want leaf-lock
+	sh.mu.Unlock()
+	sh.queue.mu.Unlock()
+}
+
+// rlockMutation writes the live entries map under a read lock.
+func rlockMutation(sh *shard) {
+	sh.mu.RLock()
+	sh.entries[1] = 2 // want rlock-mutation
+	sh.mu.RUnlock()
+}
+
+// bareMutation deletes from the live entries map with no lock at all.
+func bareMutation(sh *shard) {
+	delete(sh.entries, 1) // want unlocked-mutation
+}
+
+// bareAppend reaches the durability sink outside any commit critical
+// section.
+func bareAppend(s *store) {
+	s.durable.Append(nil) // want unlocked-append
+}
+
+// earlyExitBalanced is CLEAN: the error branch unlocks and returns, the
+// fall-through keeps the lock for the mutation. The linter must not let
+// the branch's unlock leak into the main path.
+func earlyExitBalanced(sh *shard, err error) {
+	sh.mu.Lock()
+	if err != nil {
+		sh.mu.Unlock()
+		return
+	}
+	sh.entries[1] = 2
+	sh.mu.Unlock()
+}
+
+// annotated is CLEAN: its caller holds the exclusive mu, declared by the
+// annotation below.
+//
+// lint:holds mu
+func annotated(sh *shard) {
+	sh.entries[3] = 4
+}
+
+// closureScope is CLEAN: the literal passed to run executes under the
+// lock its own body takes.
+func closureScope(sh *shard, run func(func())) {
+	run(func() {
+		sh.mu.Lock()
+		sh.entries[5] = 6
+		sh.mu.Unlock()
+	})
+}

@@ -127,3 +127,54 @@ func TestUsageErrorExitsTwo(t *testing.T) {
 		t.Fatalf("no-args exit %d, want 2", code)
 	}
 }
+
+// TestWarningsOnlyExitOneAllModes pins the exit-code contract for a file
+// whose worst finding is a warning: every output mode and check
+// narrowing that still surfaces the warning must exit 1. (Regression
+// guard for the documented contract — -json in particular must not
+// swallow the failure status.)
+func TestWarningsOnlyExitOneAllModes(t *testing.T) {
+	// shape.sdl's findings are all warnings.
+	cases := [][]string{
+		{fixture("shape.sdl")},
+		{"-json", fixture("shape.sdl")},
+		{"-notes", fixture("shape.sdl")},
+		{"-checks", "shape", fixture("shape.sdl")},
+		{"-json", "-checks", "shape", fixture("shape.sdl")},
+	}
+	for _, args := range cases {
+		code, out, errw := runVet(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1 (stdout: %s, stderr: %s)", args, code, out, errw)
+		}
+	}
+}
+
+// TestNotesOnlyExitZeroAllModes pins the other half of the contract: a
+// file whose findings are all informational notes is clean (exit 0) in
+// every mode — -notes and -json change what is printed, never the
+// status.
+func TestNotesOnlyExitZeroAllModes(t *testing.T) {
+	// footprint.sdl's findings are all notes (the pass is informational
+	// by design).
+	cases := []struct {
+		args       []string
+		wantOutput bool
+	}{
+		{[]string{"-checks", "footprint", fixture("footprint.sdl")}, false},
+		{[]string{"-notes", "-checks", "footprint", fixture("footprint.sdl")}, true},
+		{[]string{"-json", "-checks", "footprint", fixture("footprint.sdl")}, false},
+		{[]string{"-json", "-notes", "-checks", "footprint", fixture("footprint.sdl")}, true},
+	}
+	for _, tc := range cases {
+		code, out, errw := runVet(t, tc.args...)
+		if code != 0 {
+			t.Errorf("%v: exit %d, want 0 (stderr: %s)", tc.args, code, errw)
+		}
+		trimmed := strings.TrimSpace(out)
+		hasOutput := trimmed != "" && trimmed != "[]"
+		if hasOutput != tc.wantOutput {
+			t.Errorf("%v: output presence = %v, want %v: %q", tc.args, hasOutput, tc.wantOutput, out)
+		}
+	}
+}

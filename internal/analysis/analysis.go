@@ -25,6 +25,11 @@
 //     path cannot plan — view-restricted processes, and patterns or
 //     assertions whose leading field is not determined by parameters and
 //     lets. Notes only: wide footprints are legal, they just serialize.
+//   - dataflow: the interprocedural refinement (analysis/dataflow) —
+//     constant/lead propagation across the spawn graph. Reports
+//     footprint-widened transactions (re-admitted to planning, or
+//     carrying a static key set) and footprint-blocked ones with the
+//     binding chain from the offending lead to the sites that feed it.
 //
 // All passes are conservative in the same direction: silence proves
 // nothing, but every error-severity diagnostic identifies a transaction
@@ -34,6 +39,7 @@ package analysis
 import (
 	"fmt"
 
+	"github.com/sdl-lang/sdl/internal/analysis/dataflow"
 	"github.com/sdl-lang/sdl/internal/lang"
 )
 
@@ -45,10 +51,11 @@ const (
 	CheckConsensus = "consensus"
 	CheckHygiene   = "hygiene"
 	CheckFootprint = "footprint"
+	CheckDataflow  = "dataflow"
 )
 
 // AllChecks lists every pass in execution order.
-var AllChecks = []string{CheckView, CheckShape, CheckBlocked, CheckConsensus, CheckHygiene, CheckFootprint}
+var AllChecks = []string{CheckView, CheckShape, CheckBlocked, CheckConsensus, CheckHygiene, CheckFootprint, CheckDataflow}
 
 // Options configures an analysis run.
 type Options struct {
@@ -62,6 +69,7 @@ type pass struct {
 	units     []*unit
 	asserts   []assertSite
 	reachable map[string]bool
+	df        *dataflow.Result // lazily computed; see dataflowResult
 	diags     []Diagnostic
 }
 
@@ -82,6 +90,7 @@ func Analyze(prog *lang.Program, opts Options) ([]Diagnostic, error) {
 		CheckConsensus: runConsensus,
 		CheckHygiene:   runHygiene,
 		CheckFootprint: runFootprint,
+		CheckDataflow:  runDataflow,
 	}
 	selected := opts.Checks
 	if len(selected) == 0 {

@@ -56,6 +56,7 @@ func TestGolden(t *testing.T) {
 		{"consensus", analysis.Options{Checks: []string{analysis.CheckConsensus}}},
 		{"hygiene", analysis.Options{Checks: []string{analysis.CheckHygiene}}},
 		{"footprint", analysis.Options{Checks: []string{analysis.CheckFootprint}}},
+		{"dataflow", analysis.Options{Checks: []string{analysis.CheckDataflow}}},
 		{"clean", analysis.Options{}},
 	}
 	for _, tc := range cases {
@@ -91,6 +92,7 @@ func TestSeededFindingsPerCheck(t *testing.T) {
 		analysis.CheckConsensus: analysis.Warn,
 		analysis.CheckHygiene:   analysis.Warn,
 		analysis.CheckFootprint: analysis.Note,
+		analysis.CheckDataflow:  analysis.Note,
 	}
 	for _, check := range analysis.AllChecks {
 		diags := analyzeFixture(t, check+".sdl", analysis.Options{Checks: []string{check}})

@@ -1,0 +1,271 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/process"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+func analyze(t *testing.T, src string) (*lang.Program, *Result) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := Analyze(prog)
+	if !res.Converged {
+		t.Fatalf("fixpoint did not converge in %d rounds", res.Rounds)
+	}
+	return prog, res
+}
+
+// judgments returns the judgments of every transaction in the named
+// process, in source order.
+func judgments(t *testing.T, res *Result, proc string) []*Judgment {
+	t.Helper()
+	var out []*Judgment
+	for _, j := range res.Judgments {
+		if j.Proc == proc {
+			out = append(out, j)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no judgments for process %s", proc)
+	}
+	for i := 0; i < len(out); i++ {
+		for k := i + 1; k < len(out); k++ {
+			a, b := out[i].Node.Pos, out[k].Node.Pos
+			if b.Line < a.Line || (b.Line == a.Line && b.Col < a.Col) {
+				out[i], out[k] = out[k], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Spawn actuals flow into parameters, and a view-restricted process whose
+// leads are those parameters is widened to Ground — the acceptance
+// shape from the sort corpus program, reduced.
+func TestSpawnActualsWidenParams(t *testing.T) {
+	_, res := analyze(t, `
+process Swap(a, b)
+import <a, *>; <b, *>
+export <a, *>; <b, *>
+behavior
+  exists x, y: <a, ?x>!, <b, ?y>! where ?x > ?y -> <a, ?y>, <b, ?x>
+end
+
+main
+  -> <1, 10>, <2, 20>;
+  spawn Swap(1, 2), spawn Swap(2, 3)
+end
+`)
+	facts := res.Params["Swap"]
+	if facts == nil {
+		t.Fatal("no param facts for Swap")
+	}
+	a := facts["a"]
+	if a == nil || a.Val.IsTop() || a.Val.IsBottom() {
+		t.Fatalf("param a fact = %+v, want constant set", a)
+	}
+	consts := a.Val.Consts()
+	if len(consts) != 2 || !a.Val.Contains(tuple.Int(1)) || !a.Val.Contains(tuple.Int(2)) {
+		t.Errorf("param a values %v, want {1, 2}", consts)
+	}
+	if len(a.Sites) == 0 || !strings.Contains(a.Sites[0].Desc, "spawn Swap") {
+		t.Errorf("param a provenance %v, want spawn sites", a.Sites)
+	}
+	j := judgments(t, res, "Swap")[0]
+	if j.Class != footprint.Ground {
+		t.Errorf("Swap judgment class %v, want Ground", j.Class)
+	}
+	if !j.ViewRestricted || !j.Widened {
+		t.Errorf("Swap judgment restricted=%v widened=%v, want both true", j.ViewRestricted, j.Widened)
+	}
+	for _, ld := range j.Leads {
+		if !ld.Ground {
+			t.Errorf("lead %s %d not ground: %s", ld.What, ld.Index, ld.Why)
+		}
+	}
+}
+
+// Literal leads and lets folding through the runtime's own evaluator
+// produce a GroundKeys judgment with the exact key set.
+func TestClosedLetsFoldToStaticKeys(t *testing.T) {
+	_, res := analyze(t, `
+main
+  let k = 1 + 2;
+  exists v: <k, ?v>! -> <k, ?v + 1>
+end
+`)
+	js := judgments(t, res, "main")
+	j := js[len(js)-1]
+	if j.Class != footprint.GroundKeys {
+		t.Fatalf("class %v, want GroundKeys (leads: %+v)", j.Class, j.Leads)
+	}
+	if len(j.Keys) != 1 {
+		t.Fatalf("keys %v, want exactly one (pattern and assert share the bucket)", j.Keys)
+	}
+	k := j.Keys[0]
+	if k.Arity != 2 || !k.LeadKnown || !k.Lead.Equal(tuple.Int(3)) {
+		t.Errorf("key %+v, want arity 2, lead 3", k)
+	}
+	for _, ld := range j.Leads {
+		if !ld.Closed {
+			t.Errorf("lead %s %d not closed: %s", ld.What, ld.Index, ld.Why)
+		}
+	}
+}
+
+// A lead bound only by a query variable stays unbounded, and the witness
+// carries the binding chain back to the assert sites that can feed it.
+func TestQueryBoundLeadBlocksWithChain(t *testing.T) {
+	_, res := analyze(t, `
+process Relay()
+behavior
+  exists c, v: <chan, ?c>, <item, ?v> -> <?c, ?v>
+end
+
+main
+  -> <chan, left>, <item, 5>;
+  spawn Relay()
+end
+`)
+	j := judgments(t, res, "Relay")[0]
+	if j.Class != footprint.Wildcard {
+		t.Fatalf("class %v, want Wildcard", j.Class)
+	}
+	var blocked *Lead
+	for i := range j.Leads {
+		if !j.Leads[i].Ground {
+			blocked = &j.Leads[i]
+			break
+		}
+	}
+	if blocked == nil {
+		t.Fatal("no blocked lead on a Wildcard judgment")
+	}
+	if blocked.What != "assertion" {
+		t.Errorf("blocked lead is a %s, want the assertion <?c, ?v>", blocked.What)
+	}
+	if !strings.Contains(blocked.Why, "?c") || !strings.Contains(blocked.Why, "assert") {
+		t.Errorf("witness %q does not chain to the assert sites", blocked.Why)
+	}
+}
+
+// A library file's processes have no spawn sites: parameters are Bottom,
+// and the witness says host-spawned values are unbounded.
+func TestHostSpawnedParamsUnbounded(t *testing.T) {
+	_, res := analyze(t, `
+process Worker(q)
+behavior
+  exists v: <q, ?v>! -> <done, ?v>
+end
+`)
+	q := res.Params["Worker"]["q"]
+	if q == nil || !q.Val.IsBottom() {
+		t.Fatalf("param q fact %+v, want Bottom (no spawn sites)", q)
+	}
+	j := judgments(t, res, "Worker")[0]
+	if j.Class != footprint.Ground {
+		// The lead IS the issuing environment's parameter: ground, but not
+		// closed — the dynamic planner evaluates it per execution.
+		t.Fatalf("class %v, want Ground", j.Class)
+	}
+	found := false
+	for _, ld := range j.Leads {
+		if strings.Contains(ld.Why, "host-spawned") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no lead witness mentions host-spawned unboundedness: %+v", j.Leads)
+	}
+}
+
+// The refiner's trust boundary: a GroundKeys judgment refines the
+// compiled transaction only when its keys are non-empty, and a Ground
+// judgment only upgrades Wildcard-classified view-restricted
+// transactions (the dynamic planner stays authoritative elsewhere).
+func TestRefinerTrustBoundary(t *testing.T) {
+	prog, res := analyze(t, `
+process Pair(a, b)
+import <a, *>; <b, *>
+export <a, *>; <b, *>
+behavior
+  exists x: <a, ?x>! -> <b, ?x>
+end
+
+main
+  spawn Pair(1, 2)
+end
+`)
+	compiled, err := lang.CompileWith(prog, lang.CompileOptions{Refiner: res.Refiner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := lang.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined := collectFootprints(compiled)
+	base := collectFootprints(plain)
+	if len(refined) != len(base) {
+		t.Fatalf("transaction count changed: %d vs %d", len(refined), len(base))
+	}
+	upgraded := false
+	for i := range refined {
+		if base[i] == footprint.Wildcard && refined[i] == footprint.Ground {
+			upgraded = true
+		}
+		if base[i] == footprint.Ground && refined[i] == footprint.Wildcard {
+			t.Errorf("refinement downgraded a Ground transaction")
+		}
+	}
+	if !upgraded {
+		t.Errorf("no view-restricted transaction upgraded Wildcard -> Ground: base %v, refined %v", base, refined)
+	}
+}
+
+// collectFootprints walks a compiled program's definitions (sorted by
+// name) and gathers every transaction's footprint class in body order.
+func collectFootprints(c *lang.Compiled) []footprint.Class {
+	defs := append([]*process.Definition(nil), c.Defs...)
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	var out []footprint.Class
+	for _, d := range defs {
+		out = append(out, stmtFootprints(d.Body)...)
+	}
+	return out
+}
+
+func stmtFootprints(body []process.Stmt) []footprint.Class {
+	var out []footprint.Class
+	for _, s := range body {
+		switch st := s.(type) {
+		case process.Transact:
+			out = append(out, st.Footprint)
+		case process.Select:
+			for _, b := range st.Branches {
+				out = append(out, b.Guard.Footprint)
+				out = append(out, stmtFootprints(b.Body)...)
+			}
+		case process.Repeat:
+			for _, b := range st.Branches {
+				out = append(out, b.Guard.Footprint)
+				out = append(out, stmtFootprints(b.Body)...)
+			}
+		case process.Replicate:
+			for _, b := range st.Branches {
+				out = append(out, b.Guard.Footprint)
+				out = append(out, stmtFootprints(b.Body)...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/lang"
+	"github.com/sdl-lang/sdl/internal/lang/langtest"
+)
+
+// FuzzDataflow drives the interprocedural analysis over randomly
+// generated programs (the same generator as the analyzer's and the
+// front-end's fuzz targets). Properties:
+//
+//   - Analyze never panics, on synthetic ASTs and parsed round trips;
+//   - the fixpoint converges within its round budget (or reports that it
+//     did not — it must never claim convergence after the cap);
+//   - every judgment is internally consistent: GroundKeys always carries
+//     a non-empty, concrete key set, Widened implies a view-restricted
+//     process with an all-ground judgment, and every lead a judgment
+//     reports belongs to the transaction it annotates;
+//   - refined compilation succeeds exactly when plain compilation does
+//     (the refiner can reclassify transactions, never break the build).
+func FuzzDataflow(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		g := langtest.NewGen(rand.New(rand.NewSource(seed)))
+		prog := g.Program()
+
+		check := func(prog *lang.Program, label string) {
+			res := Analyze(prog)
+			if res == nil {
+				t.Fatalf("%s: nil result", label)
+			}
+			if res.Rounds > maxRounds {
+				t.Fatalf("%s: fixpoint ran %d rounds, cap is %d", label, res.Rounds, maxRounds)
+			}
+			if !res.Converged && res.Rounds < maxRounds {
+				t.Fatalf("%s: reported non-convergence after only %d rounds", label, res.Rounds)
+			}
+			for txn, j := range res.Judgments {
+				if txn == nil || j == nil {
+					t.Fatalf("%s: nil judgment entry", label)
+				}
+				if j.Node != txn {
+					t.Errorf("%s: judgment node mismatch", label)
+				}
+				switch j.Class {
+				case footprint.Ground, footprint.Wildcard, footprint.GroundKeys:
+				default:
+					t.Errorf("%s: judgment class %v out of range", label, j.Class)
+				}
+				if j.Class == footprint.GroundKeys {
+					if len(j.Keys) == 0 {
+						t.Errorf("%s: GroundKeys judgment with no keys in %s", label, j.Proc)
+					}
+					for _, k := range j.Keys {
+						if k.Arity > 0 && !k.LeadKnown {
+							t.Errorf("%s: GroundKeys key with unknown lead (arity %d)", label, k.Arity)
+						}
+					}
+				}
+				if j.Widened && !j.ViewRestricted {
+					t.Errorf("%s: widened judgment outside a view-restricted process (%s)", label, j.Proc)
+				}
+				for _, ld := range j.Leads {
+					if ld.Index < 1 {
+						t.Errorf("%s: lead with index %d", label, ld.Index)
+					}
+					if ld.Why == "" && !ld.Closed {
+						t.Errorf("%s: open lead with no witness in %s", label, j.Proc)
+					}
+				}
+			}
+		}
+
+		// Synthetic AST (zero positions — worst case for bookkeeping).
+		check(prog, "synthetic")
+
+		src := lang.Format(prog)
+		parsed, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("formatted program does not parse: %v\n%s", err, src)
+		}
+		check(parsed, "parsed")
+
+		// Refinement must never change whether the program compiles.
+		_, plainErr := lang.Compile(parsed)
+		_, _, refinedErr := Compile(parsed)
+		if (plainErr == nil) != (refinedErr == nil) {
+			t.Fatalf("compile divergence: plain err %v, refined err %v\n%s", plainErr, refinedErr, src)
+		}
+	})
+}

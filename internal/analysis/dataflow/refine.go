@@ -1,0 +1,49 @@
+package dataflow
+
+import (
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/lang"
+)
+
+// Refiner adapts the analysis result to the compiler's FootprintRefiner
+// hook.
+func (r *Result) Refiner() lang.FootprintRefiner { return refiner{res: r} }
+
+type refiner struct{ res *Result }
+
+// RefineTxn reports the refined judgment for a transaction the compiler
+// just classified. Only two refinements are ever offered, each sound
+// against an open world:
+//
+//   - GroundKeys with the attached key set, when every lead folds
+//     environment-independently (the engine trusts the keys; the store's
+//     writer panics on any mutation outside them, and the runtime still
+//     requires a plannable view);
+//   - Ground for a view-restricted transaction whose leads are all
+//     determined by parameters and lets (purely optimistic: the dynamic
+//     planner re-evaluates every lead per execution).
+func (r refiner) RefineTxn(proc string, t *lang.TxnNode, base footprint.Class) (lang.FootprintJudgment, bool) {
+	j := r.res.Judgments[t]
+	if j == nil || j.Proc != proc {
+		return lang.FootprintJudgment{}, false
+	}
+	switch j.Class {
+	case footprint.GroundKeys:
+		if len(j.Keys) > 0 && (base == footprint.Ground || j.ViewRestricted) {
+			return lang.FootprintJudgment{Class: footprint.GroundKeys, Keys: j.Keys}, true
+		}
+	case footprint.Ground:
+		if base == footprint.Wildcard && j.ViewRestricted {
+			return lang.FootprintJudgment{Class: footprint.Ground}, true
+		}
+	}
+	return lang.FootprintJudgment{}, false
+}
+
+// Compile compiles prog with the interprocedural refiner applied,
+// returning the analysis result alongside the compiled program.
+func Compile(prog *lang.Program) (*lang.Compiled, *Result, error) {
+	res := Analyze(prog)
+	compiled, err := lang.CompileWith(prog, lang.CompileOptions{Refiner: res.Refiner()})
+	return compiled, res, err
+}

@@ -1,0 +1,125 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// maxConsts caps the size of a constant set before it widens to Top; the
+// cap (with the monotone join) is what bounds the fixpoint.
+const maxConsts = 8
+
+// Value is an abstract runtime value: Bottom (no statically known
+// producer), a finite set of constants, or Top (any value). The lattice
+// orders Bottom ⊑ {c…} ⊑ Top, with set union as join and widening to Top
+// past maxConsts constants.
+type Value struct {
+	top  bool
+	vals []tuple.Value
+}
+
+// Bottom is the empty abstract value: nothing statically produces it.
+func Bottom() Value { return Value{} }
+
+// Top is the unconstrained abstract value.
+func Top() Value { return Value{top: true} }
+
+// Of builds the abstract value holding exactly the given constants.
+func Of(vs ...tuple.Value) Value {
+	var v Value
+	for _, x := range vs {
+		v = v.withConst(x)
+	}
+	return v
+}
+
+// IsTop reports whether the value is unconstrained.
+func (v Value) IsTop() bool { return v.top }
+
+// IsBottom reports whether no producer is statically known.
+func (v Value) IsBottom() bool { return !v.top && len(v.vals) == 0 }
+
+// Single returns the value's sole constant, if it has exactly one.
+func (v Value) Single() (tuple.Value, bool) {
+	if !v.top && len(v.vals) == 1 {
+		return v.vals[0], true
+	}
+	return tuple.Value{}, false
+}
+
+// Consts returns the constant set (nil for Bottom and Top).
+func (v Value) Consts() []tuple.Value {
+	if v.top {
+		return nil
+	}
+	return v.vals
+}
+
+// Contains reports whether x is admitted by the value (Top admits
+// everything, Bottom nothing).
+func (v Value) Contains(x tuple.Value) bool {
+	if v.top {
+		return true
+	}
+	for _, c := range v.vals {
+		if c.Equal(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// withConst adds one constant, widening to Top past the cap.
+func (v Value) withConst(x tuple.Value) Value {
+	if v.top || v.Contains(x) {
+		return v
+	}
+	if len(v.vals) >= maxConsts {
+		return Top()
+	}
+	vals := make([]tuple.Value, 0, len(v.vals)+1)
+	vals = append(vals, v.vals...)
+	return Value{vals: append(vals, x)}
+}
+
+// Join returns the least upper bound of v and w and whether it differs
+// from v (the change signal driving the fixpoint).
+func (v Value) Join(w Value) (Value, bool) {
+	if v.top {
+		return v, false
+	}
+	if w.top {
+		return Top(), true
+	}
+	out, changed := v, false
+	for _, x := range w.vals {
+		next := out.withConst(x)
+		if next.top || len(next.vals) != len(out.vals) {
+			changed = true
+		}
+		out = next
+		if out.top {
+			break
+		}
+	}
+	return out, changed
+}
+
+// String renders the value for diagnostics: "any" for Top, "none" for
+// Bottom, otherwise the sorted constant set "{1, 2, 3}".
+func (v Value) String() string {
+	if v.top {
+		return "any"
+	}
+	if len(v.vals) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(v.vals))
+	for i, c := range v.vals {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

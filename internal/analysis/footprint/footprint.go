@@ -40,7 +40,19 @@ const (
 	// issuing environment: dynamic planning would always fail, and the
 	// engine skips it.
 	Wildcard
+	// GroundKeys strengthens Ground: every lead folds to a concrete,
+	// environment-independent constant (a literal, an atom, or an
+	// expression over those — never a parameter or query binding), so the
+	// interprocedural analyzer attached the exact key set to the request
+	// (Request.StaticKeys) and the engine may skip per-execution lead
+	// evaluation. Only the compiler's refiner should stamp this class: the
+	// engine trusts the attached keys to cover every bucket the
+	// transaction scans, retracts from, or asserts into.
+	GroundKeys
 )
+
+// NumClasses is the number of footprint classes, for per-class counters.
+const NumClasses = 4
 
 // String names the class.
 func (c Class) String() string {
@@ -49,6 +61,8 @@ func (c Class) String() string {
 		return "ground"
 	case Wildcard:
 		return "wildcard"
+	case GroundKeys:
+		return "ground-keys"
 	default:
 		return "unknown"
 	}

@@ -25,14 +25,36 @@ func runFootprint(p *pass) {
 			continue
 		}
 		if u.decl != nil && (len(u.decl.Imports) > 0 || len(u.decl.Exports) > 0) {
-			p.addf(u.decl.Pos, CheckFootprint, Note,
-				"process %s restricts its view; its transactions bypass footprint planning and take full-store locks", u.name)
+			if allRefined(p, u) {
+				p.addf(u.decl.Pos, CheckFootprint, Note,
+					"process %s restricts its view, but every transaction's leads are ground: the interprocedural refiner re-admits them to footprint planning (see the dataflow check)", u.name)
+			} else {
+				p.addf(u.decl.Pos, CheckFootprint, Note,
+					"process %s restricts its view; its transactions bypass footprint planning and take full-store locks", u.name)
+			}
 			continue
 		}
 		for _, ti := range u.txns {
 			reportWideLeads(p, ti)
 		}
 	}
+}
+
+// allRefined reports whether the interprocedural refiner re-admits every
+// transaction of a view-restricted unit to footprint planning, making the
+// blanket "full-store locks" note stale.
+func allRefined(p *pass, u *unit) bool {
+	if len(u.txns) == 0 {
+		return false
+	}
+	res := p.dataflowResult()
+	for _, ti := range u.txns {
+		j := res.Judgments[ti.txn]
+		if j == nil || !j.Widened {
+			return false
+		}
+	}
+	return true
 }
 
 // reportWideLeads flags every pattern of ti whose lead is not determined by

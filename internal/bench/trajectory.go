@@ -21,8 +21,8 @@ type BenchEntry struct {
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit"`
 	// Extra records the improvement direction for gating tools:
-	// "biggerIsBetter" (throughput, batch sizes) or "smallerIsBetter"
-	// (latencies, locks/op, counts).
+	// "biggerIsBetter" (throughput, batch sizes, admission percentages) or
+	// "smallerIsBetter" (latencies, locks/op, counts).
 	Extra string `json:"extra,omitempty"`
 }
 
@@ -50,7 +50,7 @@ type BenchFile struct {
 // BiggerIsBetter reports the improvement direction of a metric unit.
 func BiggerIsBetter(unit string) bool {
 	switch unit {
-	case "kops/s", "ops/s", "txns/batch":
+	case "kops/s", "ops/s", "txns/batch", "%":
 		return true
 	default: // ms, locks/op, retries, counts…
 		return false

@@ -395,13 +395,10 @@ func (s *Store) UpdateCommuting(owner tuple.ProcessID, keys []InterestKey, fn fu
 	return nil
 }
 
-// fallbackUpdate demotes a planned commit to shard-level locking and
-// counts the fallback when it commits.
+// fallbackUpdate demotes a planned commit to shard-level locking; the
+// shard-fallback counter is bumped inside updateSet when it commits.
 func (s *Store) fallbackUpdate(keys []InterestKey, owner tuple.ProcessID, fn func(w Writer) error) error {
-	changed, err := s.updateSet(s.planShards(keys), owner, fn)
-	if changed {
-		s.metrics.IncShardFallback()
-	}
+	_, err := s.updateSet(s.planShards(keys), owner, false, fn)
 	return err
 }
 
@@ -486,6 +483,8 @@ func (s *Store) directCommit(kw *keyWriter) (CommitRecord, uint64) {
 // record to the durability sink (the commit's key latches are still held,
 // so conflicting commits append in version order). Callers hold the mu of
 // every shard the buffer touches.
+//
+// lint:holds latch mu
 func (s *Store) applyBuffered(kw *keyWriter) (CommitRecord, uint64) {
 	for i, ins := range kw.inserted {
 		sh := s.shards[kw.insShard[i]]

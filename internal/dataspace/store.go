@@ -543,7 +543,7 @@ func (s *Store) snapshotSet(ss shardSet, fn func(r Reader)) {
 // keys are woken, and commit hooks run. If fn returns an error, mutations
 // made through the writer are rolled back and the error is returned.
 func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
-	_, err := s.updateSet(s.all, owner, fn)
+	_, err := s.updateSet(s.all, owner, true, fn)
 	return err
 }
 
@@ -553,11 +553,16 @@ func (s *Store) Update(owner tuple.ProcessID, fn func(w Writer) error) error {
 // reports ErrNoSuchTuple for Deletes outside them; callers must plan keys
 // covering every bucket they scan, retract from, or assert into.
 func (s *Store) UpdateKeys(owner tuple.ProcessID, keys []InterestKey, fn func(w Writer) error) error {
-	_, err := s.updateSet(s.planShards(keys), owner, fn)
+	_, err := s.updateSet(s.planShards(keys), owner, false, fn)
 	return err
 }
 
-func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) error) (bool, error) {
+// updateSet is the shard-locked commit path. coarse distinguishes the
+// accounting ladder: an unplanned commit over the full lock set (or a bulk
+// Assert) counts as coarse, a keys-planned commit counts as a shard
+// fallback. Together with the per-key path's IncKeyCommit, every mutating
+// store commit lands in exactly one of the three counters.
+func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, coarse bool, fn func(w Writer) error) (bool, error) {
 	s.lockSet(&ss)
 	if s.sc != nil {
 		// Contention spike: widen the critical section while the shard
@@ -583,6 +588,11 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, fn func(w Writer) 
 	changed := len(w.inserted) > 0 || len(w.deleted) > 0
 	if changed {
 		s.metrics.IncCommits()
+		if coarse {
+			s.metrics.IncCoarseCommit()
+		} else {
+			s.metrics.IncShardFallback()
+		}
 		for _, si := range w.insShard {
 			s.shards[si].asserts++
 		}
@@ -685,7 +695,7 @@ func (s *Store) Assert(owner tuple.ProcessID, ts ...tuple.Tuple) []tuple.ID {
 	for _, t := range ts {
 		ss.add(s.shardIndex(indexKeyOf(t)))
 	}
-	_, _ = s.updateSet(ss, owner, func(w Writer) error {
+	_, _ = s.updateSet(ss, owner, true, func(w Writer) error {
 		for i, t := range ts {
 			ids[i] = w.Insert(t, owner)
 		}
@@ -815,6 +825,10 @@ func (r reader) Len() int {
 
 // --- writer ---
 
+// Insert applies immediately to the live maps; updateSet holds the
+// exclusive locks of every shard in the writer's set for the whole fn.
+//
+// lint:holds intent mu
 func (w *writer) Insert(t tuple.Tuple, owner tuple.ProcessID) tuple.ID {
 	si := w.s.shardIndex(indexKeyOf(t))
 	if !w.ss.has(si) {
@@ -829,6 +843,10 @@ func (w *writer) Insert(t tuple.Tuple, owner tuple.ProcessID) tuple.ID {
 	return id
 }
 
+// Delete applies immediately to the live maps; updateSet holds the
+// exclusive locks of every shard in the writer's set for the whole fn.
+//
+// lint:holds intent mu
 func (w *writer) Delete(id tuple.ID) error {
 	var (
 		sh *shard
@@ -855,6 +873,8 @@ func (w *writer) Delete(id tuple.ID) error {
 
 // rollback undoes the writer's mutations (fn returned an error), restoring
 // every touched shard's entries and indexes.
+//
+// lint:holds intent mu
 func (w *writer) rollback() {
 	for i, ins := range w.inserted {
 		sh := w.s.shards[w.insShard[i]]
@@ -870,6 +890,10 @@ func (w *writer) rollback() {
 	}
 }
 
+// indexAdd maintains the arity and lead indexes for one insert; every
+// caller holds the shard's exclusive mu.
+//
+// lint:holds mu
 func (sh *shard) indexAdd(id tuple.ID, t tuple.Tuple) {
 	a := t.Arity()
 	byA := sh.byArity[a]
@@ -889,6 +913,10 @@ func (sh *shard) indexAdd(id tuple.ID, t tuple.Tuple) {
 	}
 }
 
+// indexRemove maintains the arity and lead indexes for one delete; every
+// caller holds the shard's exclusive mu.
+//
+// lint:holds mu
 func (sh *shard) indexRemove(id tuple.ID, t tuple.Tuple) {
 	a := t.Arity()
 	if byA := sh.byArity[a]; byA != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/process"
@@ -21,10 +22,49 @@ type Compiled struct {
 	HasMain bool
 }
 
-// Compile translates a parsed program into process definitions.
+// FootprintJudgment is an interprocedural refinement of a transaction's
+// static footprint class, produced by a FootprintRefiner (the
+// analysis/dataflow package). Keys must be non-empty exactly when Class is
+// footprint.GroundKeys: the refiner proved every lead environment-
+// independent and computed the complete bucket set.
+type FootprintJudgment struct {
+	Class footprint.Class
+	Keys  []dataspace.InterestKey
+}
+
+// FootprintRefiner refines the compiler's per-transaction footprint
+// classification with whole-program knowledge. RefineTxn is called once
+// per compiled transaction with the enclosing process name (MainProcess
+// for the main block), the transaction's AST node, and the compiler's own
+// conservative class; returning ok=false keeps the conservative class.
+//
+// The compiler only accepts refinements that widen the commuting fast
+// path's intake in directions the runtime can double-check: Ground (the
+// dynamic planner re-evaluates every lead and remains authoritative) and
+// GroundKeys with an attached key set (the engine trusts the keys, and the
+// store's writer panics on any mutation outside them).
+type FootprintRefiner interface {
+	RefineTxn(proc string, t *TxnNode, base footprint.Class) (FootprintJudgment, bool)
+}
+
+// CompileOptions configures compilation.
+type CompileOptions struct {
+	// Refiner, when non-nil, refines per-transaction footprint classes
+	// (see FootprintRefiner).
+	Refiner FootprintRefiner
+}
+
+// Compile translates a parsed program into process definitions using the
+// compiler's intraprocedural footprint classification only.
 func Compile(prog *Program) (*Compiled, error) {
+	return CompileWith(prog, CompileOptions{})
+}
+
+// CompileWith is Compile with options.
+func CompileWith(prog *Program, opts CompileOptions) (*Compiled, error) {
 	c := &compiler{
 		arities: make(map[string]int),
+		refiner: opts.Refiner,
 	}
 	for _, pd := range prog.Processes {
 		if pd.Name == MainProcess {
@@ -48,6 +88,7 @@ func Compile(prog *Program) (*Compiled, error) {
 		out.Defs = append(out.Defs, def)
 	}
 	if prog.Main != nil {
+		c.proc = MainProcess
 		sc := newScope(nil)
 		collectLets(prog.Main.Body, sc)
 		body, err := c.compileStmts(prog.Main.Body, sc)
@@ -130,10 +171,13 @@ func Merge(progs ...*Program) (*Program, error) {
 // compiler carries program-level context.
 type compiler struct {
 	arities map[string]int // process name -> parameter count
+	refiner FootprintRefiner
+	proc    string // name of the process being compiled
 	// viewRestricted is true while compiling a process with import/export
-	// clauses: its transactions can never be footprint-planned (a
-	// restricted view may consult arbitrary buckets), so they are stamped
-	// footprint.Wildcard.
+	// clauses: its transactions can never be footprint-planned by the
+	// intraprocedural classifier alone (a restricted view may consult
+	// arbitrary buckets), so they are stamped footprint.Wildcard unless a
+	// refiner proves the view plannable and the leads ground.
 	viewRestricted bool
 }
 
@@ -164,6 +208,7 @@ func (s *scope) bind(name string) { s.bound[name] = true }
 func (s *scope) isBound(name string) bool { return s.bound[name] }
 
 func (c *compiler) compileProcess(pd *ProcessDecl) (*process.Definition, error) {
+	c.proc = pd.Name
 	c.viewRestricted = len(pd.Imports) > 0 || len(pd.Exports) > 0
 	defer func() { c.viewRestricted = false }()
 	sc := newScope(pd.Params)
@@ -448,6 +493,19 @@ func (c *compiler) compileTxn(t *TxnNode, sc *scope) (process.Transact, error) {
 		tx.Footprint = footprint.Wildcard
 	} else {
 		tx.Footprint = footprint.Classify(q, tx.Asserts, sc.isBound)
+	}
+	if c.refiner != nil {
+		if j, ok := c.refiner.RefineTxn(c.proc, t, tx.Footprint); ok {
+			switch {
+			case j.Class == footprint.GroundKeys && len(j.Keys) > 0:
+				tx.Footprint, tx.StaticKeys = j.Class, j.Keys
+			case j.Class == footprint.Ground && len(j.Keys) == 0:
+				// Optimistic only: the dynamic planner re-evaluates every
+				// lead, so a wrong Ground refinement costs a failed plan,
+				// never a wrong lock set.
+				tx.Footprint = footprint.Ground
+			}
+		}
 	}
 	return tx, nil
 }

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"testing"
+
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+)
+
+// The registry's per-class admission counters are indexed by
+// footprint.Class and labeled by footprintClassNames; both must track the
+// footprint package exactly, or Snapshot would mislabel (or drop)
+// admissions after a class is added or renamed.
+func TestFootprintClassNamesSync(t *testing.T) {
+	if FootprintClasses != footprint.NumClasses {
+		t.Fatalf("metrics.FootprintClasses = %d, footprint.NumClasses = %d",
+			FootprintClasses, footprint.NumClasses)
+	}
+	seen := make(map[string]bool, FootprintClasses)
+	for c := 0; c < FootprintClasses; c++ {
+		want := footprint.Class(c).String()
+		if footprintClassNames[c] != want {
+			t.Errorf("class %d: metrics name %q, footprint name %q", c, footprintClassNames[c], want)
+		}
+		if seen[footprintClassNames[c]] {
+			t.Errorf("duplicate class name %q", footprintClassNames[c])
+		}
+		seen[footprintClassNames[c]] = true
+	}
+}
+
+// Out-of-range classes (a future footprint.Class the registry predates)
+// must land in the "unknown" bucket rather than out of bounds.
+func TestFootprintAdmissionOutOfRange(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetObserved(true)
+	r.IncFootprintAdmission(uint8(FootprintClasses)+3, true)
+	snap := r.Snapshot()
+	if snap.FootprintAdmissions["unknown"] != 1 || snap.FootprintPlanned["unknown"] != 1 {
+		t.Errorf("out-of-range admission not folded into unknown: %+v / %+v",
+			snap.FootprintAdmissions, snap.FootprintPlanned)
+	}
+}

@@ -195,6 +195,7 @@ type Registry struct {
 
 	keyCommits     Counter    // commits admitted on the per-key commuting path
 	shardFallbacks Counter    // planned commits that fell back to shard locking
+	coarseCommits  Counter    // unplanned commits applied under the full lock set
 	groupBatch     *Histogram // commits applied per group-commit drain (always on)
 	epochReads     Counter    // lock-free epoch snapshot reads
 	epochRebuilds  Counter    // epoch snapshot rebuilds (cache misses)
@@ -202,6 +203,9 @@ type Registry struct {
 
 	txn        [numTxnKinds]txnCells
 	txnLatency [numTxnKinds]*Histogram // ns per execution; gated on Observed
+
+	footprintAdmit   [FootprintClasses]cell // executions per static footprint class
+	footprintPlanned [FootprintClasses]cell // of those, how many the planner admitted
 
 	footprint    *Histogram // shards write-locked per update; gated on Observed
 	wakeupFanout *Histogram // waiters woken per mutating commit; gated on Observed
@@ -278,6 +282,32 @@ func (r *Registry) IncKeyCommit() { r.keyCommits.Add(1) }
 
 // IncShardFallback counts one planned commit that fell back to shard locks.
 func (r *Registry) IncShardFallback() { r.shardFallbacks.Add(1) }
+
+// IncCoarseCommit counts one unplanned mutating commit applied under the
+// full (or env-assert) lock set. Every mutating store commit is exactly
+// one of key / fallback / coarse — the audited-ladder invariant.
+func (r *Registry) IncCoarseCommit() { r.coarseCommits.Add(1) }
+
+// FootprintClasses is the number of static footprint classes
+// (analysis/footprint.NumClasses; the packages are kept decoupled and a
+// test asserts the constants and names agree).
+const FootprintClasses = 4
+
+// footprintClassNames mirrors footprint.Class.String() per index.
+var footprintClassNames = [FootprintClasses]string{"unknown", "ground", "wildcard", "ground-keys"}
+
+// IncFootprintAdmission counts one transaction execution admitted to
+// planning with the given static footprint class, and whether the dynamic
+// planner produced an exact plan (the commuting fast path's intake).
+func (r *Registry) IncFootprintAdmission(class uint8, planned bool) {
+	if class >= FootprintClasses {
+		class = 0
+	}
+	r.footprintAdmit[class].v.Add(1)
+	if planned {
+		r.footprintPlanned[class].v.Add(1)
+	}
+}
 
 // ObserveGroupBatch records the number of commits one group-commit drain
 // applied (always on; one observation per drain, not per commit).
@@ -397,6 +427,7 @@ type Snapshot struct {
 
 	KeyCommits     uint64            `json:"keyCommits"`     // commits on the per-key commuting path
 	ShardFallbacks uint64            `json:"shardFallbacks"` // planned commits demoted to shard locks
+	CoarseCommits  uint64            `json:"coarseCommits"`  // unplanned commits under the full lock set
 	GroupBatch     HistogramSnapshot `json:"groupBatch"`     // commits per group-commit drain
 	EpochReads     uint64            `json:"epochReads"`     // lock-free snapshot reads
 	EpochRebuilds  uint64            `json:"epochRebuilds"`  // snapshot rebuilds
@@ -404,6 +435,12 @@ type Snapshot struct {
 
 	Txn        map[string]TxnCounters       `json:"txn"`
 	TxnLatency map[string]HistogramSnapshot `json:"txnLatencyNs"`
+
+	// FootprintAdmissions counts transaction executions per static
+	// footprint class; FootprintPlanned is the subset the dynamic planner
+	// admitted to the commuting fast path.
+	FootprintAdmissions map[string]uint64 `json:"footprintAdmissions"`
+	FootprintPlanned    map[string]uint64 `json:"footprintPlanned"`
 
 	Footprint    HistogramSnapshot `json:"footprintShards"`
 	WakeupFanout HistogramSnapshot `json:"wakeupFanout"`
@@ -470,12 +507,15 @@ func (r *Registry) Snapshot() Snapshot {
 		StoreCommits:       r.commits.Value(),
 		KeyCommits:         r.keyCommits.Value(),
 		ShardFallbacks:     r.shardFallbacks.Value(),
+		CoarseCommits:      r.coarseCommits.Value(),
 		GroupBatch:         r.groupBatch.snapshot(),
 		EpochReads:         r.epochReads.Value(),
 		EpochRebuilds:      r.epochRebuilds.Value(),
 		EpochFallbacks:     r.epochFallbacks.Value(),
 		Txn:                make(map[string]TxnCounters, int(numTxnKinds)),
 		TxnLatency:         make(map[string]HistogramSnapshot, int(numTxnKinds)),
+		FootprintAdmissions: make(map[string]uint64, FootprintClasses),
+		FootprintPlanned:    make(map[string]uint64, FootprintClasses),
 		Footprint:          r.footprint.snapshot(),
 		WakeupFanout:       r.wakeupFanout.snapshot(),
 		WaiterDepth:        r.waiterDepth.Value(),
@@ -492,6 +532,10 @@ func (r *Registry) Snapshot() Snapshot {
 		WalDiscarded:       r.walDiscarded.Value(),
 		WalRecoveries:      r.walRecoveries.Value(),
 		WalRecoveryTime:    r.walRecoveryTime.snapshot(),
+	}
+	for i := 0; i < FootprintClasses; i++ {
+		s.FootprintAdmissions[footprintClassNames[i]] = r.footprintAdmit[i].v.Load()
+		s.FootprintPlanned[footprintClassNames[i]] = r.footprintPlanned[i].v.Load()
 	}
 	for i := range r.shards {
 		s.Shards[i] = ShardCounters{

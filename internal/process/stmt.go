@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/expr"
 	"github.com/sdl-lang/sdl/internal/pattern"
 	"github.com/sdl-lang/sdl/internal/sched"
@@ -54,6 +55,10 @@ type Transact struct {
 	// (footprint.Unknown for hand-built statements), forwarded to the
 	// transaction engine as a planning hint.
 	Footprint footprint.Class
+	// StaticKeys is the statically computed footprint key set attached by
+	// the compiler's interprocedural refiner alongside
+	// footprint.GroundKeys; nil for hand-built statements.
+	StaticKeys []dataspace.InterestKey
 }
 
 // Branch is one guarded sequence of a selection/repetition/replication.
@@ -205,13 +210,14 @@ func (p *proc) runStmt(ctx context.Context, s Stmt) error {
 // current process environment.
 func (p *proc) request(t Transact) txn.Request {
 	return txn.Request{
-		Proc:      p.pid,
-		View:      p.view,
-		Env:       p.env,
-		Query:     t.Query,
-		Asserts:   t.Asserts,
-		Export:    t.Export,
-		Footprint: t.Footprint,
+		Proc:       p.pid,
+		View:       p.view,
+		Env:        p.env,
+		Query:      t.Query,
+		Asserts:    t.Asserts,
+		Export:     t.Export,
+		Footprint:  t.Footprint,
+		StaticKeys: t.StaticKeys,
 	}
 }
 

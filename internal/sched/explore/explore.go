@@ -27,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/sdl-lang/sdl/internal/analysis/dataflow"
 	"github.com/sdl-lang/sdl/internal/dataspace"
 	"github.com/sdl-lang/sdl/internal/lang"
 	"github.com/sdl-lang/sdl/internal/process"
@@ -221,8 +222,21 @@ func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (in
 	engine := txn.New(store, mode)
 	rt := process.NewRuntime(engine, nil)
 
+	// Compile through the interprocedural footprint refiner so the
+	// exploration campaign exercises the same refined fast-path admissions
+	// (Ground/GroundKeys) that production runs take.
 	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
-	runErr := lang.LoadAndRun(ctx, rt, p.Src)
+	runErr := func() error {
+		prog, err := lang.Parse(p.Src)
+		if err != nil {
+			return err
+		}
+		compiled, _, err := dataflow.Compile(prog)
+		if err != nil {
+			return err
+		}
+		return compiled.Run(ctx, rt)
+	}()
 	cancel()
 	rt.Shutdown()
 	rt.Consensus().Close()

@@ -108,8 +108,18 @@ type Request struct {
 	// transaction's footprint (footprint.Unknown when no classifier ran).
 	// Wildcard short-circuits dynamic footprint planning — the plan would
 	// certainly fail; Ground and Unknown leave the dynamic planner, which
-	// stays authoritative, to decide.
+	// stays authoritative, to decide. GroundKeys additionally promises
+	// that StaticKeys is the exact key set.
 	Footprint footprint.Class
+	// StaticKeys is the statically computed footprint key set attached by
+	// the compiler's interprocedural refiner, valid only with
+	// Footprint == footprint.GroundKeys. Every key is environment-
+	// independent (folded from literals and closed lets), so the engine
+	// uses it directly instead of re-evaluating pattern leads per
+	// execution. The set must cover every bucket the transaction scans,
+	// retracts from, or asserts into; hand-built requests should leave it
+	// nil and let the dynamic planner decide.
+	StaticKeys []dataspace.InterestKey
 }
 
 // Result reports a transaction's outcome.
@@ -230,19 +240,36 @@ func (e *Engine) exec(req Request, kind metrics.TxnKind) (Result, error) {
 // tests), so a lead determined under req.Env keeps that value under every
 // solution environment: every bucket the join, the negation checks, or the
 // assertion grounding can touch is in the plan. The plan is abandoned
-// (ok=false) when any lead of arity > 0 is undetermined under req.Env, or
-// when the view is non-universal — a restricted import may consult
-// arbitrary buckets (dynamic matchers, view-pattern restrictions), so
-// those transactions take the full-store lock.
+// (ok=false) when any lead of arity > 0 is undetermined under req.Env.
+//
+// A non-universal view normally forces the full-store lock — a restricted
+// import may consult arbitrary buckets (dynamic matchers). The exception
+// is a compiler-refined footprint (Ground or GroundKeys) under a plannable
+// view: every matcher is pure, so the import filter and the export check
+// decide on the candidate tuple alone, window scans with planned leads
+// touch only planned buckets, and the per-pattern plan above covers
+// everything the evaluation can read or write. That combination restores
+// the key-latch/group-commit path to view-restricted processes.
 func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
 	if !req.View.Import.All || !req.View.Export.All {
-		return nil, false
+		if req.Footprint != footprint.Ground && req.Footprint != footprint.GroundKeys {
+			return nil, false
+		}
+		if !req.View.Plannable() {
+			return nil, false
+		}
 	}
 	if req.Footprint == footprint.Wildcard {
 		// The compiler proved a lead undetermined under the issuing
 		// environment; per-pattern planning below would reach the same
 		// conclusion the slow way.
 		return nil, false
+	}
+	if req.Footprint == footprint.GroundKeys && len(req.StaticKeys) > 0 {
+		// The refiner folded every lead to an environment-independent
+		// constant and attached the exact key set; skip per-pattern lead
+		// evaluation entirely.
+		return req.StaticKeys, true
 	}
 	keys := make([]dataspace.InterestKey, 0, len(req.Query.Patterns)+len(req.Asserts))
 	add := func(p pattern.Pattern) bool {
@@ -271,6 +298,16 @@ func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
 	return keys, true
 }
 
+// planKeys runs the footprint planner and records the admission: one
+// counter bump per execution, keyed by the request's static class and by
+// whether the plan succeeded (planned executions are the commuting fast
+// path's intake; unplanned ones serialize on the full-store lock).
+func (e *Engine) planKeys(req Request) ([]dataspace.InterestKey, bool) {
+	keys, planned := footprintKeys(req)
+	e.m.IncFootprintAdmission(uint8(req.Footprint), planned)
+	return keys, planned
+}
+
 // update runs fn under the narrowest sound lock: the commutativity-aware
 // key-level path when the footprint plan is exact (per-bucket latches plus
 // group commit, falling back to shard locks for plans the lock table cannot
@@ -285,7 +322,7 @@ func (e *Engine) update(req Request, keys []dataspace.InterestKey, planned bool,
 func (e *Engine) immediateCoarse(req Request) (Result, error) {
 	var res Result
 	e.attempts.Add(1)
-	keys, planned := footprintKeys(req)
+	keys, planned := e.planKeys(req)
 	err := e.update(req, keys, planned, func(w dataspace.Writer) error {
 		r, err := e.evalAndApply(w, req)
 		if err != nil {
@@ -336,7 +373,7 @@ func (e *Engine) immediateOptimistic(req Request, kind metrics.TxnKind) (Result,
 	// wall-clock schedule rarely reaches. Drawn before the snapshot so the
 	// decision stream is independent of evaluation timing.
 	forced := e.sc.ForceRetry()
-	keys, planned := footprintKeys(req)
+	keys, planned := e.planKeys(req)
 	eval := func(r dataspace.Reader) {
 		snapVersion = r.Version()
 		win := req.View.Window(r, req.Env)

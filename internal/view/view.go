@@ -54,12 +54,27 @@ type Matcher interface {
 	Arities() (list []int, all bool)
 }
 
+// PureMatcher marks matchers whose Admits decision depends only on the
+// candidate tuple and the environment — never on the dataspace reader.
+// Purity is what makes a restricted view plannable: window scans with
+// statically planned leads touch only the planned buckets, and the
+// admit/export filters cannot reach outside them. The marker method is
+// unexported on purpose: purity is audited in this package, not asserted
+// by callers.
+type PureMatcher interface {
+	Matcher
+	pureMatcher()
+}
+
 // PatternMatcher admits tuples matching a pattern under an optional
 // predicate over the pattern's variables and the process environment.
 type PatternMatcher struct {
 	Pattern pattern.Pattern
 	Where   expr.Expr
 }
+
+// pureMatcher marks PatternMatcher pure: Admits ignores the reader.
+func (PatternMatcher) pureMatcher() {}
 
 // Pat builds a pattern matcher.
 func Pat(p pattern.Pattern) PatternMatcher { return PatternMatcher{Pattern: p} }
@@ -160,6 +175,21 @@ func (c Clause) Admits(r dataspace.Reader, env expr.Env, t tuple.Tuple) bool {
 	return false
 }
 
+// Pure reports whether every matcher of the clause is a PureMatcher (the
+// universal clause is trivially pure). A pure clause's admit decisions
+// never consult the dataspace, so they hold identically under any reader.
+func (c Clause) Pure() bool {
+	if c.All {
+		return true
+	}
+	for _, m := range c.Matchers {
+		if _, ok := m.(PureMatcher); !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // restriction aggregates the matchers' restrictions for one arity:
 // admitsAny=false means no matcher covers the arity at all; bounded=true
 // means all covering matchers pin the lead, with leads the (deduplicated)
@@ -212,6 +242,16 @@ func Universal() View {
 
 // New builds a view from explicit clauses.
 func New(imp, exp Clause) View { return View{Import: imp, Export: exp} }
+
+// Plannable reports whether transactions under this view may be footprint-
+// planned despite the restriction: both clauses are pure, so evaluating
+// the transaction under locks covering only its own pattern and assertion
+// buckets is sound — the import filter and the export check read nothing
+// outside those buckets. Views with dynamic matchers (whose admit sets
+// depend on the current configuration) are never plannable.
+func (v View) Plannable() bool {
+	return v.Import.Pure() && v.Export.Pure()
+}
 
 // Exports reports whether the process may assert t (the Export(p) ∩ W_a
 // filter).

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/sdl-lang/sdl/internal/analysis/footprint"
 )
 
 // Metrics invariants over a whole System run: the observability layer's
@@ -133,6 +135,32 @@ func TestSystemMetricsInvariants(t *testing.T) {
 		t.Errorf("key commits %d + shard fallbacks %d = %d, want %d engine commits",
 			snap.KeyCommits, snap.ShardFallbacks, got, snap.TotalCommits())
 	}
+	// The full commit-path ladder: every mutating store commit is exactly
+	// one of key-latched, shard-fallback, or coarse. The environment's
+	// direct Asserts are this workload's only coarse commits.
+	if got := snap.KeyCommits + snap.ShardFallbacks + snap.CoarseCommits; got != snap.StoreCommits {
+		t.Errorf("commit ladder: key %d + fallback %d + coarse %d = %d, want %d store commits",
+			snap.KeyCommits, snap.ShardFallbacks, snap.CoarseCommits, got, snap.StoreCommits)
+	}
+	if snap.CoarseCommits != envAsserts {
+		t.Errorf("coarse commits %d, want %d (env asserts only)", snap.CoarseCommits, envAsserts)
+	}
+	// Footprint admission accounting: the planned subset never exceeds the
+	// admissions per class, and every engine commit here came from a
+	// planned execution.
+	var plannedTotal uint64
+	for class, admits := range snap.FootprintAdmissions {
+		if p := snap.FootprintPlanned[class]; p > admits {
+			t.Errorf("class %s: planned %d > admitted %d", class, p, admits)
+		}
+	}
+	for _, p := range snap.FootprintPlanned {
+		plannedTotal += p
+	}
+	if plannedTotal < snap.TotalCommits() {
+		t.Errorf("planned executions %d < engine commits %d (an unplanned commit slipped through)",
+			plannedTotal, snap.TotalCommits())
+	}
 	// Group-commit batches contain only key-mode commits (multi-shard key
 	// commits publish directly), batch sizes are at least one, and every
 	// key commit acquired at least one key latch.
@@ -184,6 +212,67 @@ func TestSystemMetricsInvariants(t *testing.T) {
 	}
 	if got := after.TotalCommits() - snap.TotalCommits(); got != reads {
 		t.Errorf("engine commits grew by %d over the read phase, want %d", got, reads)
+	}
+
+	// Refined admission under a restricted view: a request the compiler's
+	// interprocedural refiner classified Ground, under a plannable
+	// (pure-matcher) view, takes the key-latch path — while the identical
+	// request without the refinement (class Unknown) serializes on the
+	// coarse full-store lock. This is the fast-path widening the refiner
+	// buys, observed through the admission counters.
+	ctrPat := P(C(Atom("ctr0")), W())
+	restricted := NewView(Union(Pat(ctrPat)), Union(Pat(ctrPat)))
+	pre := sys.Snapshot()
+	const refined = 20
+	for i := 0; i < refined; i++ {
+		res, err := sys.Immediate(Request{
+			Proc:      ProcessID(2),
+			View:      restricted,
+			Footprint: footprint.Ground,
+			Query:     Q(R(C(Atom("ctr0")), V("n"))),
+			Asserts:   []Pattern{P(C(Atom("ctr0")), E(Add(X("n"), Lit(Int(1)))))},
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("refined op %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	mid := sys.Snapshot()
+	if got := mid.KeyCommits - pre.KeyCommits; got != refined {
+		t.Errorf("refined view-restricted phase: key commits grew by %d, want %d", got, refined)
+	}
+	if mid.CoarseCommits != pre.CoarseCommits {
+		t.Errorf("refined view-restricted phase took %d coarse commits, want 0",
+			mid.CoarseCommits-pre.CoarseCommits)
+	}
+	if got := mid.FootprintPlanned["ground"] - pre.FootprintPlanned["ground"]; got < refined {
+		t.Errorf("ground planned admissions grew by %d, want >= %d", got, refined)
+	}
+	const unrefined = 5
+	for i := 0; i < unrefined; i++ {
+		res, err := sys.Immediate(Request{
+			Proc:    ProcessID(2),
+			View:    restricted,
+			Query:   Q(R(C(Atom("ctr0")), V("n"))),
+			Asserts: []Pattern{P(C(Atom("ctr0")), E(Add(X("n"), Lit(Int(1)))))},
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("unrefined op %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	post := sys.Snapshot()
+	if got := post.CoarseCommits - mid.CoarseCommits; got != unrefined {
+		t.Errorf("unrefined view-restricted phase: coarse commits grew by %d, want %d", got, unrefined)
+	}
+	if post.KeyCommits != mid.KeyCommits {
+		t.Errorf("unrefined view-restricted phase took %d key commits, want 0",
+			post.KeyCommits-mid.KeyCommits)
+	}
+	if got := post.FootprintPlanned["unknown"] - mid.FootprintPlanned["unknown"]; got != 0 {
+		t.Errorf("unknown-class planned admissions grew by %d under a restricted view, want 0", got)
+	}
+	if got := post.KeyCommits + post.ShardFallbacks + post.CoarseCommits; got != post.StoreCommits {
+		t.Errorf("commit ladder after view phases: key %d + fallback %d + coarse %d = %d, want %d",
+			post.KeyCommits, post.ShardFallbacks, post.CoarseCommits, got, post.StoreCommits)
 	}
 
 	// All waiters were satisfied, and shutdown leaves the gauge at zero.

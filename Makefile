@@ -31,9 +31,11 @@ audit:
 analyze-smoke:
 	$(GO) test -fuzz=FuzzAnalyze -fuzztime=5s -run '^$$' ./internal/analysis
 
-# The full schedule-exploration campaign: 1000+ seeds across the fourteen
-# corpus programs (14 programs x 84 seeds = 1176 runs), light faults,
-# serializability-checked. Any failure prints a replayable seed.
+# The full schedule-exploration campaign: 1000+ seeds across the fifteen
+# corpus programs (15 programs x 84 seeds = 1260 runs), light faults,
+# serializability-checked, with seeds split between the reactive wakeup
+# path and its full re-query ablation. Any failure prints a replayable
+# seed.
 explore:
 	$(GO) run ./cmd/sdlexplore -seeds 84
 
@@ -75,9 +77,9 @@ bench-json:
 	$(GO) run ./cmd/sdlbench -quick -json -rev $$(git rev-parse --short HEAD)
 
 # Regression gate: measure the working tree and diff it against the most
-# recent committed BENCH_*.json (>30% on E1/E9/E12/E13/E14/E15 fails).
+# recent committed BENCH_*.json (>30% on E1/E9/E12/E13/E14/E15/E16 fails).
 bench-gate:
-	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13,E14,E15
+	$(GO) run ./cmd/sdlbench -quick -json -rev gate -run E1,E9,E12,E13,E14,E15,E16
 	$(GO) run ./cmd/benchgate -new BENCH_gate.json BENCH_*.json
 	rm -f BENCH_gate.json
 

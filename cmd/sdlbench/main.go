@@ -1,4 +1,4 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E15, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E16, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -136,6 +136,13 @@ func experiments() []experiment {
 			},
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E15RefinedAdmission(ctx, []int{2, 8, 64})
+			}},
+		{"E16",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E16ReactiveWakeups(ctx, []int{100})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E16ReactiveWakeups(ctx, []int{50, 200, 800})
 			}},
 	}
 }

@@ -42,6 +42,10 @@
 //	                          at compile time (default true); -refine=false
 //	                          keeps the compiler's intraprocedural
 //	                          classification only
+//	-reactive                 delta-driven wakeups for blocked delayed
+//	                          transactions (default true); -reactive=false
+//	                          restores the full re-query baseline of
+//	                          experiment E16
 package main
 
 import (
@@ -180,6 +184,7 @@ func run(args []string) error {
 		schedSeed   = fs.Int64("sched-seed", -1, "deterministic schedule-controller seed (-1 = off)")
 		schedFaults = fs.String("sched-faults", "light", "fault profile under -sched-seed: off, light, or heavy")
 		refine      = fs.Bool("refine", true, "apply the interprocedural footprint refiner (analysis/dataflow) at compile time")
+		reactive    = fs.Bool("reactive", true, "delta-driven wakeups for blocked delayed transactions (false = full re-query baseline)")
 	)
 	vet := &vetFlag{mode: "off"}
 	fs.Var(vet, "vet", `run the static analyzer first: "on" refuses to run on errors, "warn" reports and runs anyway`)
@@ -241,7 +246,8 @@ func run(args []string) error {
 		sc = sched.New(uint64(*schedSeed), f)
 	}
 
-	store := dataspace.New(dataspace.WithShards(*shards), dataspace.WithScheduler(sc))
+	store := dataspace.New(dataspace.WithShards(*shards), dataspace.WithScheduler(sc),
+		dataspace.WithReactive(*reactive))
 	var wlog *wal.Log
 	if *walDir != "" {
 		if *restore != "" {
@@ -425,6 +431,11 @@ func printMetrics(snap metrics.Snapshot) {
 	}
 	fmt.Printf("  wakeups       mean fan-out %.2f, waiter depth %d\n",
 		snap.WakeupFanout.Mean(), snap.WaiterDepth)
+	if snap.ReactiveSignals > 0 || snap.ReactiveEvals > 0 {
+		fmt.Printf("  reactive      %d signals (%d suppressed), %d evals (%d delta hits, %d full re-queries), %d consensus kicks suppressed\n",
+			snap.ReactiveSignals, snap.ReactiveSuppressed, snap.ReactiveEvals,
+			snap.ReactiveHits, snap.ReactiveFallbacks, snap.ConsensusKicksSuppressed)
+	}
 	fmt.Printf("  consensus     %d detection rounds, mean community %.1f\n",
 		snap.ConsensusRounds, snap.ConsensusCommunity.Mean())
 	if snap.CheckpointWrite.Count > 0 || snap.CheckpointRead.Count > 0 {

@@ -184,3 +184,32 @@ func TestE11ShapePlannerWins(t *testing.T) {
 		t.Errorf("planner speedup too small: written=%.1f planned=%.1f us/txn", written, planned)
 	}
 }
+
+func TestE16ShapeReactiveBeatsRequery(t *testing.T) {
+	tbl, err := E16ReactiveWakeups(ctxT(t), []int{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reactiveEvals, requeryEvals, suppressed float64
+	for _, m := range tbl.Rows[0].Metrics {
+		switch m.Name {
+		case "reactive evals":
+			reactiveEvals = m.Value
+		case "requery evals":
+			requeryEvals = m.Value
+		case "suppressed":
+			suppressed = m.Value
+		}
+	}
+	// The noise commits share the waiters' index bucket, so the re-query
+	// baseline re-evaluates blocked guards on every one; the reactive path
+	// suppresses them at the publisher and re-evaluates each waiter only
+	// for the delta that satisfies it.
+	if requeryEvals < 10*reactiveEvals {
+		t.Errorf("reactive=%v requery=%v evals: expected requery ≫ reactive",
+			reactiveEvals, requeryEvals)
+	}
+	if suppressed == 0 {
+		t.Error("no suppressed wakeups recorded: the delta filters never engaged")
+	}
+}

@@ -1347,3 +1347,106 @@ func E13CommutingUpserts(_ context.Context, keysPerWorkerCounts []int) (*Table, 
 	}
 	return t, nil
 }
+
+// reactiveWakeupCell runs one E16 configuration against an assembled
+// store/engine pair: p delayed transactions block on the delta-safe
+// constant guards <job, i, 1> — all hashing to the ONE (arity, lead)
+// index bucket — then a writer streams noise commits into that same
+// bucket that match none of them, and finally releases every waiter in a
+// single batched commit.
+func reactiveWakeupCell(ctx context.Context, s *dataspace.Store, e *txn.Engine, p, noise int) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.Delayed(ctx, txn.Request{
+				Proc: tuple.ProcessID(i + 1),
+				View: view.Universal(),
+				Query: pattern.Q(pattern.P(pattern.C(tuple.Atom("job")),
+					pattern.C(tuple.Int(int64(i))), pattern.C(tuple.Int(1)))),
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	// Let every waiter run its first (failing) attempt and block.
+	for int(e.Stats().Attempts) < p {
+		runtime.Gosched()
+	}
+	return timeIt(func() error {
+		for i := 0; i < noise; i++ {
+			// Same bucket (arity 3, lead `job`), never a match: the keyed
+			// wakeup index cannot filter these, only the delta layer can.
+			s.Assert(tuple.Environment,
+				tuple.New(tuple.Atom("job"), tuple.Int(int64(1000+i)), tuple.Int(0)))
+			runtime.Gosched()
+		}
+		// Release everyone in one commit and drain.
+		batch := make([]tuple.Tuple, 0, p)
+		for i := 0; i < p; i++ {
+			batch = append(batch, tuple.New(tuple.Atom("job"), tuple.Int(int64(i)), tuple.Int(1)))
+		}
+		s.Assert(tuple.Environment, batch...)
+		wg.Wait()
+		close(errCh)
+		return <-errCh
+	})
+}
+
+// E16ReactiveWakeups is the ablation for the reactive delta-wakeup layer
+// (DESIGN.md section 11). Interest-keyed wakeups (E10) cannot tell the
+// noise and release commits apart — they share the waiters' index bucket —
+// so the full re-query baseline re-evaluates all P blocked guards on every
+// noise commit. The reactive path compiles each guard into a delta filter,
+// suppresses the unmatched wakeups at the publisher, and re-evaluates each
+// waiter exactly once, against the delta that satisfies it.
+func E16ReactiveWakeups(ctx context.Context, waiterCounts []int) (*Table, error) {
+	t := &Table{
+		ID:    "E16",
+		Title: "ablation: reactive delta-driven wakeups vs full guard re-query (shared-bucket noise)",
+		Note:  "subscription lifecycle and delta-safety rules in DESIGN.md section 11",
+	}
+	const noise = 300
+	for _, p := range waiterCounts {
+		row := Row{Config: fmt.Sprintf("waiters=%d noise=%d", p, noise)}
+		for _, reactive := range []bool{true, false} {
+			s := dataspace.New(dataspace.WithReactive(reactive))
+			// Both variants observed, so the gated histograms record and the
+			// timing handicap is identical on each side of the ablation.
+			s.Metrics().SetObserved(true)
+			e := txn.New(s, txn.Coarse)
+			d, err := reactiveWakeupCell(ctx, s, e, p, noise)
+			if err != nil {
+				return nil, fmt.Errorf("E16 reactive=%v p=%d: %w", reactive, p, err)
+			}
+			name := "requery"
+			if reactive {
+				name = "reactive"
+			}
+			st := e.Stats()
+			snap := s.Metrics().Snapshot()
+			row.Metrics = append(row.Metrics,
+				Ms(name, d),
+				Count(name+" evals", float64(st.Wakeups), "wakeups"))
+			if reactive {
+				row.Metrics = append(row.Metrics,
+					Count("suppressed", float64(snap.ReactiveSuppressed), "wakeups"),
+					Count("delta hits", float64(snap.ReactiveHits), "evals"))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ReactiveWakeups runs one configuration of the E16 workload (for the
+// testing.B benchmark): P blocked delta-safe guards under same-bucket
+// noise, with the reactive delta path on or off.
+func ReactiveWakeups(ctx context.Context, waiters int, reactive bool) error {
+	s := dataspace.New(dataspace.WithReactive(reactive))
+	_, err := reactiveWakeupCell(ctx, s, txn.New(s, txn.Coarse), waiters, 300)
+	return err
+}

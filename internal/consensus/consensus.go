@@ -158,6 +158,22 @@ type Manager struct {
 	pendingMu   sync.Mutex
 	pendingKeys map[view.BucketKey]struct{}
 
+	// relevance is the detector's commit-relevance summary: when non-nil,
+	// a commit touching only buckets outside it cannot change any member's
+	// import materialization — and, by the bounded-matcher contract, no
+	// window-visible query answer either — so the detector kick is elided
+	// (the buckets are still recorded in pendingKeys; invalidation is
+	// never lost). nil means every commit is relevant (broad): the initial
+	// state, the reactive-off ablation, and whenever any member's import
+	// is universal, unbounded, or not yet materialized. relGen guards
+	// summary writes: membership and offer changes bump it (resetRelevance)
+	// so a summary computed against a stale society never lands. Both
+	// guarded by pendingMu.
+	relevance map[view.BucketKey]struct{}
+	relGen    uint64
+
+	reactive bool // store's reactive flag: gates kick suppression
+
 	fires    atomic.Uint64 // successful consensus firings
 	attempts atomic.Uint64 // detector evaluations
 }
@@ -173,16 +189,23 @@ func NewManager(engine *txn.Engine) *Manager {
 		kick:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 		pendingKeys: make(map[view.BucketKey]struct{}),
+		reactive:    engine.Store().Reactive(),
 	}
 	engine.Store().OnCommit(func(rec dataspace.CommitRecord) {
 		m.pendingMu.Lock()
+		relevant := m.relevance == nil
 		record := func(inst dataspace.Instance) {
 			a := inst.Tuple.Arity()
-			if a == 0 {
-				m.pendingKeys[view.BucketKey{}] = struct{}{}
-				return
+			key := view.BucketKey{}
+			if a > 0 {
+				key = view.CanonBucket(a, inst.Tuple.Field(0))
 			}
-			m.pendingKeys[view.CanonBucket(a, inst.Tuple.Field(0))] = struct{}{}
+			m.pendingKeys[key] = struct{}{}
+			if !relevant {
+				if _, hit := m.relevance[key]; hit {
+					relevant = true
+				}
+			}
 		}
 		for _, inst := range rec.Inserted {
 			record(inst)
@@ -191,6 +214,17 @@ func NewManager(engine *txn.Engine) *Manager {
 			record(inst)
 		}
 		m.pendingMu.Unlock()
+		if !relevant {
+			// Every touched bucket is outside every registered import: the
+			// commit can change neither an import materialization nor a
+			// window-visible query answer (see Manager.relevance), so the
+			// detector's last decision stands. The buckets were recorded
+			// above — cache invalidation is deferred, never lost — and any
+			// society change that could widen relevance resets the summary
+			// (and signals) itself.
+			engine.Metrics().IncConsensusKickSuppressed()
+			return
+		}
 		if m.sc != nil && m.sc.DelaySignal() {
 			// Delayed-invalidation fault: the touched buckets are already in
 			// pendingKeys (above), so only the detector kick is deferred —
@@ -243,6 +277,7 @@ func (m *Manager) Register(pid tuple.ProcessID, v view.View, env expr.Env) {
 	m.mu.Lock()
 	m.members[pid] = &member{pid: pid, view: v, env: env}
 	m.mu.Unlock()
+	m.resetRelevance()
 	m.signal()
 }
 
@@ -252,6 +287,7 @@ func (m *Manager) Unregister(pid tuple.ProcessID) {
 	delete(m.members, pid)
 	delete(m.offers, pid)
 	m.mu.Unlock()
+	m.resetRelevance()
 	m.signal()
 }
 
@@ -290,6 +326,7 @@ func (m *Manager) StartOfferAlts(reqs []txn.Request) (*Offer, error) {
 	m.offers[pid] = o
 	m.mu.Unlock()
 	m.engine.Metrics().IncTxnBlock(metrics.TxnConsensus)
+	m.resetRelevance()
 	m.signal()
 	return o, nil
 }
@@ -319,6 +356,7 @@ func (m *Manager) removeOffer(o *Offer) {
 		delete(m.offers, o.pid())
 	}
 	m.mu.Unlock()
+	m.resetRelevance()
 	m.signal()
 }
 
@@ -327,6 +365,18 @@ func (m *Manager) signal() {
 	case m.kick <- struct{}{}:
 	default:
 	}
+}
+
+// resetRelevance widens the commit-relevance summary back to broad (every
+// commit kicks) and bumps the generation so an in-flight detector round
+// cannot re-install a summary computed against the previous society.
+// Called on every membership or offer change, before the change's own
+// signal.
+func (m *Manager) resetRelevance() {
+	m.pendingMu.Lock()
+	m.relGen++
+	m.relevance = nil
+	m.pendingMu.Unlock()
 }
 
 // detector is the manager's background loop: on every signal it looks for
@@ -440,12 +490,17 @@ func (m *Manager) candidateGroups(members, offering, idle []*member) [][]tuple.P
 	}
 
 	blockedRoots := make(map[tuple.ProcessID]bool)
+	var relGen uint64
 	m.engine.Store().Snapshot(func(r dataspace.Reader) {
 		// Drain the commit-touched buckets and invalidate affected caches
 		// under the snapshot's locks (see the function comment). Cache
 		// fields are only ever written by this detector goroutine; never
 		// alias the live map outside pendingMu (commit hooks write to it).
+		// The relevance generation is read under the same lock: a society
+		// change after this point bumps it and voids the summary this
+		// round computes.
 		m.pendingMu.Lock()
+		relGen = m.relGen
 		var touched map[view.BucketKey]struct{}
 		if len(m.pendingKeys) > 0 {
 			touched = m.pendingKeys
@@ -543,6 +598,7 @@ func (m *Manager) candidateGroups(members, offering, idle []*member) [][]tuple.P
 			}
 		}
 	})
+	m.refreshRelevance(members, relGen)
 
 	groups := make(map[tuple.ProcessID][]tuple.ProcessID)
 	for _, mem := range offering {
@@ -560,6 +616,43 @@ func (m *Manager) candidateGroups(members, offering, idle []*member) [][]tuple.P
 	// Deterministic group order (by first member) for reproducible firing.
 	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
 	return out
+}
+
+// refreshRelevance recomputes the commit-relevance summary from the
+// member caches as of the grouping snapshot: the union of every bounded,
+// valid cached import's bucket keys (which, for a bounded pure matcher,
+// depend only on the member's view and environment — including currently
+// empty buckets, per MaterializeKeyed). Any member with a universal,
+// unbounded, invalid, or not-yet-materialized import forces the broad
+// (nil) summary. The write is dropped when the generation moved — a
+// Register/Unregister/offer change raced this round and already reset the
+// summary. Only the detector goroutine reads the cache fields here, so no
+// member lock is needed; disabled (summary pinned broad) under the
+// reactive-off ablation.
+func (m *Manager) refreshRelevance(members []*member, gen uint64) {
+	if !m.reactive {
+		return
+	}
+	broad := false
+	sum := make(map[view.BucketKey]struct{})
+	for _, mem := range members {
+		if mem.view.Import.All || !mem.cacheValid || !mem.bounded {
+			broad = true
+			break
+		}
+		for k := range mem.cacheKeys {
+			sum[k] = struct{}{}
+		}
+	}
+	m.pendingMu.Lock()
+	if m.relGen == gen {
+		if broad {
+			m.relevance = nil
+		} else {
+			m.relevance = sum
+		}
+	}
+	m.pendingMu.Unlock()
 }
 
 // importOf returns the member's materialized import, from the cache when

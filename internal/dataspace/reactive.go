@@ -1,0 +1,242 @@
+package dataspace
+
+import (
+	"sync"
+
+	"github.com/sdl-lang/sdl/internal/sched"
+)
+
+// Delta is one tuple-level change from a committed mutation, as delivered
+// to reactive subscriptions: an instance asserted into or retracted from
+// the dataspace. Deltas are routed through the same hash(arity, lead)
+// index buckets as the tuples themselves, so a commit only inspects the
+// subscriptions of the shards it wrote.
+type Delta struct {
+	Asserted bool // true: asserted; false: retracted
+	Inst     Instance
+}
+
+// Subscription is a registered delta sink: the reactive replacement for
+// the one-shot Wait channel. A blocked delayed transaction subscribes
+// once, and every relevant commit publishes its deltas into the
+// subscription's buffer and fires the ready channel; the waiter drains
+// the buffer, re-evaluates, and blocks again on the SAME subscription —
+// deltas arriving while it evaluates are buffered, not lost.
+//
+// The publisher filters: a subscription created with a non-nil filter
+// receives only the deltas the filter accepts, and when every delta of a
+// commit is rejected the wakeup is suppressed entirely (the legacy path
+// would have woken the waiter for a full re-query). A nil filter marks
+// the guard as not delta-safe: any covering commit marks the buffer full
+// (re-query required) but still batches — one wakeup per drain, however
+// many commits landed.
+//
+// The registration maps mirror Wait's: a lead-known interest key
+// registers only in the shard owning its bucket; lead-unknown keys of
+// arity > 0 register in every shard; arity-0 keys in the fixed zero-lead
+// shard. Like the waiter registry, the subscription mutex is a leaf —
+// publish and Drain never touch shard locks.
+type Subscription struct {
+	s      *Store
+	filter func(Delta) bool
+
+	mu     sync.Mutex
+	ch     chan struct{}
+	fired  bool
+	deltas []Delta
+	full   bool // a non-delta-safe or broad/spurious wakeup landed: re-query
+
+	regKeys    []subKeyReg
+	regArities []subArityReg
+	cancelOnce sync.Once
+}
+
+type subKeyReg struct {
+	si uint32
+	ik indexKey
+}
+
+type subArityReg struct {
+	si uint32
+	a  int
+}
+
+// Subscribe registers a reactive subscription for the given interest keys.
+// filter decides, per delta, whether the change can affect the blocked
+// guard; nil means "any covering change requires a full re-query". Like
+// Wait, callers must Subscribe BEFORE evaluating the query that may block,
+// and must Cancel the subscription when done (idempotent).
+func (s *Store) Subscribe(keys []InterestKey, filter func(Delta) bool) *Subscription {
+	s.sc.Yield(sched.PointWaiterRegister)
+	sub := &Subscription{s: s, filter: filter, ch: make(chan struct{})}
+	s.metrics.SubscriptionsLive().Inc()
+	for _, k := range keys {
+		switch {
+		case k.Arity == 0:
+			si := s.shardIndex(indexKey{})
+			s.shards[si].waiters.addSubArity(0, sub)
+			sub.regArities = append(sub.regArities, subArityReg{si: si, a: 0})
+		case k.LeadKnown:
+			ik := indexKey{arity: k.Arity, lead: canonLead(k.Lead)}
+			si := s.shardIndex(ik)
+			s.shards[si].waiters.addSubKey(ik, sub)
+			sub.regKeys = append(sub.regKeys, subKeyReg{si: si, ik: ik})
+		default:
+			for si := range s.shards {
+				s.shards[si].waiters.addSubArity(k.Arity, sub)
+				sub.regArities = append(sub.regArities, subArityReg{si: uint32(si), a: k.Arity})
+			}
+		}
+	}
+	return sub
+}
+
+// Ready returns the channel the next publish fires. The channel identity
+// changes across Drain calls; re-read it before every wait.
+func (sub *Subscription) Ready() <-chan struct{} {
+	sub.mu.Lock()
+	ch := sub.ch
+	sub.mu.Unlock()
+	return ch
+}
+
+// Drain swaps out the buffered deltas and the full-re-query flag, and
+// re-arms the ready channel. Publishes racing with Drain land either in
+// the returned batch or in the re-armed buffer with the fresh channel
+// fired — never between, so no wakeup is lost.
+func (sub *Subscription) Drain() (deltas []Delta, full bool) {
+	sub.mu.Lock()
+	deltas, full = sub.deltas, sub.full
+	sub.deltas, sub.full = nil, false
+	if sub.fired {
+		sub.ch = make(chan struct{})
+		sub.fired = false
+	}
+	sub.mu.Unlock()
+	return deltas, full
+}
+
+// publish appends a commit's deltas (or the full flag) and fires the
+// ready channel if it has not fired since the last Drain.
+func (sub *Subscription) publish(deltas []Delta, full bool) {
+	sub.mu.Lock()
+	if full {
+		sub.full = true
+		sub.deltas = nil
+	} else if !sub.full {
+		sub.deltas = append(sub.deltas, deltas...)
+	}
+	if !sub.fired {
+		sub.fired = true
+		close(sub.ch)
+	}
+	sub.mu.Unlock()
+}
+
+// Cancel releases the registration (idempotent, safe concurrently with
+// publishes).
+func (sub *Subscription) Cancel() {
+	sub.cancelOnce.Do(func() {
+		for _, reg := range sub.regKeys {
+			sub.s.shards[reg.si].waiters.removeSubKey(reg.ik, sub)
+		}
+		for _, reg := range sub.regArities {
+			sub.s.shards[reg.si].waiters.removeSubArity(reg.a, sub)
+		}
+		sub.s.metrics.SubscriptionsLive().Dec()
+	})
+}
+
+// subDelivery accumulates one commit's deltas for one subscription while
+// the candidates are being collected.
+type subDelivery struct {
+	deltas []Delta
+	full   bool
+}
+
+// deliverDeltas routes a commit's tuple-level changes to the reactive
+// subscriptions whose interest covers them, returning how many it woke
+// (published to; suppressed candidates are not counted — they are the
+// wakeup fan-out the filter saved). It runs after the commit's locks are
+// released (alongside waiter wakeup, after the durability wait), so
+// filters may be arbitrary user-level matchers. broad forces a
+// full-re-query delivery to every subscription in every shard (the
+// broad-wakeup ablation and the spurious-wakeup fault; correctness never
+// depends on suppression).
+func (s *Store) deliverDeltas(rec CommitRecord, insShard, delShard []uint32, broad bool) int {
+	cands := make(map[*Subscription]*subDelivery)
+	var order []*Subscription // first-seen order: deterministic under replay
+	get := func(sub *Subscription) *subDelivery {
+		sd := cands[sub]
+		if sd == nil {
+			sd = &subDelivery{}
+			cands[sub] = sd
+			order = append(order, sub)
+		}
+		return sd
+	}
+	add := func(sub *Subscription, d Delta) {
+		sd := get(sub)
+		if sd.full {
+			return
+		}
+		switch {
+		case sub.filter == nil:
+			sd.full = true
+			sd.deltas = nil
+		case sub.filter(d):
+			sd.deltas = append(sd.deltas, d)
+		}
+	}
+	if broad {
+		var all []*Subscription
+		for _, sh := range s.shards {
+			all = sh.waiters.collectAllSubs(all)
+		}
+		for _, sub := range all {
+			sd := get(sub)
+			sd.full = true
+			sd.deltas = nil
+		}
+	} else {
+		var scratch []*Subscription
+		for i, inst := range rec.Inserted {
+			scratch = s.shards[insShard[i]].waiters.collectSubs(inst, scratch[:0])
+			d := Delta{Asserted: true, Inst: inst}
+			for _, sub := range scratch {
+				add(sub, d)
+			}
+		}
+		for i, inst := range rec.Deleted {
+			scratch = s.shards[delShard[i]].waiters.collectSubs(inst, scratch[:0])
+			d := Delta{Asserted: false, Inst: inst}
+			for _, sub := range scratch {
+				add(sub, d)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return 0
+	}
+	published := 0
+	deliver := func(sub *Subscription) {
+		sd := cands[sub]
+		s.metrics.IncReactiveSignal()
+		if sd.full || len(sd.deltas) > 0 {
+			sub.publish(sd.deltas, sd.full)
+			published++
+		} else {
+			s.metrics.IncReactiveSuppressed()
+		}
+	}
+	if perm := s.sc.Perm(sched.PointReactiveDeliver, len(order)); perm != nil {
+		for _, i := range perm {
+			deliver(order[i])
+		}
+		return published
+	}
+	for _, sub := range order {
+		deliver(sub)
+	}
+	return published
+}

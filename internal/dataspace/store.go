@@ -196,6 +196,7 @@ type Store struct {
 	all    shardSet // every shard index, for the full-lock paths
 
 	commuting bool // key-level locking + group commit enabled
+	reactive  bool // delta-driven wakeups for delayed transactions enabled
 
 	metrics *metrics.Registry
 	sc      *sched.Controller // nil unless schedule exploration is on
@@ -212,6 +213,7 @@ type storeConfig struct {
 	shards      int
 	sc          *sched.Controller
 	noCommuting bool
+	noReactive  bool
 }
 
 // WithShards sets the shard count. Values are rounded up to a power of two
@@ -235,6 +237,15 @@ func WithScheduler(sc *sched.Controller) Option {
 // every planned commit to shard-level locking — the E13 ablation baseline.
 func WithCommuting(on bool) Option {
 	return func(c *storeConfig) { c.noCommuting = !on }
+}
+
+// WithReactive enables or disables delta-driven wakeups for delayed
+// transactions (on by default). Disabling it keeps blocked guards on the
+// legacy signal-then-full-re-query loop — the E16 ablation baseline. The
+// flag is advisory for the engine layered above: the store serves
+// Subscribe either way.
+func WithReactive(on bool) Option {
+	return func(c *storeConfig) { c.noReactive = !on }
 }
 
 func defaultShardCount() int {
@@ -299,6 +310,7 @@ func New(opts ...Option) *Store {
 		shards:    make([]*shard, n),
 		mask:      uint32(n - 1),
 		commuting: !cfg.noCommuting,
+		reactive:  !cfg.noReactive,
 		metrics:   metrics.NewRegistry(n),
 		sc:        cfg.sc,
 	}
@@ -315,6 +327,10 @@ func New(opts ...Option) *Store {
 
 // NumShards returns the store's shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// Reactive reports whether delta-driven wakeups are enabled (the delayed
+// engine consults this to pick its blocking path).
+func (s *Store) Reactive() bool { return s.reactive }
 
 // Metrics returns the store's metrics registry. The registry is shared by
 // every component layered over the store (transaction engine, consensus

@@ -31,13 +31,17 @@ type waiter struct {
 
 func (w *waiter) fire() { w.once.Do(func() { close(w.ch) }) }
 
-// waiterRegistry indexes one shard's waiters by interest key. The zero
-// value is ready to use. Its mutex is independent of the shard lock:
-// Wait/cancel never block behind a running transaction.
+// waiterRegistry indexes one shard's waiters — one-shot Wait channels and
+// reactive subscriptions alike — by interest key. The zero value is ready
+// to use. Its mutex is independent of the shard lock: Wait/Subscribe/cancel
+// never block behind a running transaction.
 type waiterRegistry struct {
 	mu      sync.Mutex
 	byKey   map[indexKey]map[*waiter]struct{}
 	byArity map[int]map[*waiter]struct{}
+
+	subsByKey   map[indexKey]map[*Subscription]struct{}
+	subsByArity map[int]map[*Subscription]struct{}
 }
 
 func (r *waiterRegistry) addKey(ik indexKey, w *waiter) {
@@ -88,6 +92,91 @@ func (r *waiterRegistry) removeArity(a int, w *waiter) {
 		}
 	}
 	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) addSubKey(ik indexKey, sub *Subscription) {
+	r.mu.Lock()
+	if r.subsByKey == nil {
+		r.subsByKey = make(map[indexKey]map[*Subscription]struct{})
+	}
+	set := r.subsByKey[ik]
+	if set == nil {
+		set = make(map[*Subscription]struct{})
+		r.subsByKey[ik] = set
+	}
+	set[sub] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) addSubArity(a int, sub *Subscription) {
+	r.mu.Lock()
+	if r.subsByArity == nil {
+		r.subsByArity = make(map[int]map[*Subscription]struct{})
+	}
+	set := r.subsByArity[a]
+	if set == nil {
+		set = make(map[*Subscription]struct{})
+		r.subsByArity[a] = set
+	}
+	set[sub] = struct{}{}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) removeSubKey(ik indexKey, sub *Subscription) {
+	r.mu.Lock()
+	if set := r.subsByKey[ik]; set != nil {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(r.subsByKey, ik)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *waiterRegistry) removeSubArity(a int, sub *Subscription) {
+	r.mu.Lock()
+	if set := r.subsByArity[a]; set != nil {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(r.subsByArity, a)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// collectSubs appends the subscriptions whose interest covers inst.
+func (r *waiterRegistry) collectSubs(inst Instance, into []*Subscription) []*Subscription {
+	r.mu.Lock()
+	a := inst.Tuple.Arity()
+	for sub := range r.subsByArity[a] {
+		into = append(into, sub)
+	}
+	if a > 0 {
+		ik := indexKey{arity: a, lead: canonLead(inst.Tuple.Field(0))}
+		for sub := range r.subsByKey[ik] {
+			into = append(into, sub)
+		}
+	}
+	r.mu.Unlock()
+	return into
+}
+
+// collectAllSubs appends every registered subscription (broad wakeups and
+// the spurious-wakeup fault).
+func (r *waiterRegistry) collectAllSubs(into []*Subscription) []*Subscription {
+	r.mu.Lock()
+	for _, set := range r.subsByKey {
+		for sub := range set {
+			into = append(into, sub)
+		}
+	}
+	for _, set := range r.subsByArity {
+		for sub := range set {
+			into = append(into, sub)
+		}
+	}
+	r.mu.Unlock()
+	return into
 }
 
 // collect appends the waiters whose interest covers inst.
@@ -200,8 +289,20 @@ func (s *Store) Wait(keys []InterestKey) (<-chan struct{}, func()) {
 // the per-instance shard indexes recorded by the commit's writer (shard
 // path and key path alike).
 func (s *Store) notify(rec CommitRecord, insShard, delShard []uint32) {
+	broad := s.broadWake.Load()
+	// Spurious-wakeup fault: also wake every registered waiter and
+	// subscription, matched or not. Woken delayed transactions re-evaluate
+	// and, finding their query still unsatisfied, block again — the
+	// register-before-evaluate protocol makes this safe, and exploration
+	// verifies it stays safe. Drawn once so the delta path and the legacy
+	// path perturb together.
+	spurious := s.sc != nil && s.sc.SpuriousWakeup()
+	// Reactive subscriptions are served first, so a waiter blocked on both
+	// paths (there are none today, but the invariant is cheap) would see
+	// its deltas buffered before any legacy channel fires.
+	delivered := s.deliverDeltas(rec, insShard, delShard, broad || spurious)
 	var fired []*waiter
-	if s.broadWake.Load() {
+	if broad {
 		for _, sh := range s.shards {
 			fired = sh.waiters.collectAll(fired)
 		}
@@ -213,18 +314,15 @@ func (s *Store) notify(rec CommitRecord, insShard, delShard []uint32) {
 			fired = s.shards[delShard[i]].waiters.collect(inst, fired)
 		}
 	}
-	if s.sc != nil && s.sc.SpuriousWakeup() {
-		// Spurious-wakeup fault: also wake every registered waiter, matched
-		// or not. Woken delayed transactions re-evaluate and, finding their
-		// query still unsatisfied, re-register and block again — the
-		// register-before-evaluate protocol makes this safe, and exploration
-		// verifies it stays safe.
+	if spurious {
 		for _, sh := range s.shards {
 			fired = sh.waiters.collectAll(fired)
 		}
 	}
 	if s.metrics.Observed() {
-		s.metrics.ObserveWakeupFanout(len(fired))
+		// Fan-out counts everything this commit woke: legacy one-shot
+		// waiters plus published (non-suppressed) subscriptions.
+		s.metrics.ObserveWakeupFanout(len(fired) + delivered)
 	}
 	if perm := s.sc.Perm(sched.PointWakeupDispatch, len(fired)); perm != nil {
 		// Dispatch-order perturbation: fire is idempotent and duplicate

@@ -211,6 +211,15 @@ type Registry struct {
 	wakeupFanout *Histogram // waiters woken per mutating commit; gated on Observed
 	waiterDepth  Gauge      // currently registered waiters
 
+	subsLive           Gauge   // currently registered reactive subscriptions
+	reactiveSignals    Counter // subscription candidates a commit's delta delivery inspected
+	reactiveSuppressed Counter // candidates whose deltas filtered to nothing (wakeup suppressed)
+	reactiveEvals      Counter // guard re-evaluations after a subscription fired
+	reactiveHits       Counter // of those, driven by a concrete delta batch
+	reactiveFallbacks  Counter // of those, full re-queries (not delta-safe, or overflow/spurious)
+
+	consensusKicksSuppressed Counter // detector kicks elided by the relevance filter
+
 	consensusRounds    Counter    // detector evaluation rounds
 	consensusCommunity *Histogram // members per fired consensus set (always on; fires are rare)
 
@@ -333,6 +342,36 @@ func (r *Registry) ObserveWakeupFanout(n int) { r.wakeupFanout.Observe(uint64(n)
 // WaiterDepth is the gauge of currently registered waiters.
 func (r *Registry) WaiterDepth() *Gauge { return &r.waiterDepth }
 
+// SubscriptionsLive is the gauge of currently registered reactive
+// subscriptions (delta-driven delayed waiters).
+func (r *Registry) SubscriptionsLive() *Gauge { return &r.subsLive }
+
+// IncReactiveSignal counts one subscription candidate inspected during a
+// commit's delta delivery (whether or not it was ultimately woken).
+func (r *Registry) IncReactiveSignal() { r.reactiveSignals.Add(1) }
+
+// IncReactiveSuppressed counts one subscription candidate whose deltas all
+// filtered to nothing — the wakeup the legacy path would have issued was
+// suppressed at the publisher.
+func (r *Registry) IncReactiveSuppressed() { r.reactiveSuppressed.Add(1) }
+
+// IncReactiveEval counts one guard re-evaluation after a subscription
+// fired. Every eval is exactly one of hit / fallback — the audited
+// invariant.
+func (r *Registry) IncReactiveEval() { r.reactiveEvals.Add(1) }
+
+// IncReactiveHit counts one re-evaluation driven by a concrete delta batch.
+func (r *Registry) IncReactiveHit() { r.reactiveHits.Add(1) }
+
+// IncReactiveFallback counts one re-evaluation that fell back to a full
+// re-query (guard not delta-safe, broad/spurious wakeup, or empty batch).
+func (r *Registry) IncReactiveFallback() { r.reactiveFallbacks.Add(1) }
+
+// IncConsensusKickSuppressed counts one commit whose invalidation was
+// recorded without kicking the detector: its buckets were provably outside
+// every registered offer's import relevance.
+func (r *Registry) IncConsensusKickSuppressed() { r.consensusKicksSuppressed.Add(1) }
+
 // ObserveCheckpointWrite records a WriteCheckpoint duration.
 func (r *Registry) ObserveCheckpointWrite(d time.Duration) {
 	r.checkpointWrite.Observe(uint64(d.Nanoseconds()))
@@ -446,6 +485,14 @@ type Snapshot struct {
 	WakeupFanout HistogramSnapshot `json:"wakeupFanout"`
 	WaiterDepth  int64             `json:"waiterDepth"`
 
+	ReactiveSubscriptions    int64  `json:"reactiveSubscriptions"`    // live subscription gauge
+	ReactiveSignals          uint64 `json:"reactiveSignals"`          // subscription candidates inspected by commits
+	ReactiveSuppressed       uint64 `json:"reactiveSuppressed"`       // candidates suppressed (no relevant delta)
+	ReactiveEvals            uint64 `json:"reactiveWakeupEvals"`      // guard re-evaluations after a subscription fired
+	ReactiveHits             uint64 `json:"reactiveDeltaHits"`        // of those, driven by a concrete delta batch
+	ReactiveFallbacks        uint64 `json:"reactiveFallbacks"`        // of those, full re-queries
+	ConsensusKicksSuppressed uint64 `json:"consensusKicksSuppressed"` // detector kicks elided by relevance filtering
+
 	ConsensusRounds    uint64            `json:"consensusRounds"`
 	ConsensusCommunity HistogramSnapshot `json:"consensusCommunity"`
 
@@ -519,6 +566,13 @@ func (r *Registry) Snapshot() Snapshot {
 		Footprint:          r.footprint.snapshot(),
 		WakeupFanout:       r.wakeupFanout.snapshot(),
 		WaiterDepth:        r.waiterDepth.Value(),
+		ReactiveSubscriptions:    r.subsLive.Value(),
+		ReactiveSignals:          r.reactiveSignals.Value(),
+		ReactiveSuppressed:       r.reactiveSuppressed.Value(),
+		ReactiveEvals:            r.reactiveEvals.Value(),
+		ReactiveHits:             r.reactiveHits.Value(),
+		ReactiveFallbacks:        r.reactiveFallbacks.Value(),
+		ConsensusKicksSuppressed: r.consensusKicksSuppressed.Value(),
 		ConsensusRounds:    r.consensusRounds.Value(),
 		ConsensusCommunity: r.consensusCommunity.snapshot(),
 		CheckpointWrite:    r.checkpointWrite.snapshot(),

@@ -79,9 +79,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// configFor derives the per-seed system configuration. Both knobs are pure
+// configFor derives the per-seed system configuration. All knobs are pure
 // functions of the seed, so a reported seed reproduces its configuration.
-func configFor(seed uint64, o Options) (shards int, mode txn.Mode) {
+func configFor(seed uint64, o Options) (shards int, mode txn.Mode, reactive bool) {
 	h := sched.Decide(seed, sched.NumPoints-1, 0x5eed)
 	shards = o.Shards
 	if shards == 0 {
@@ -95,16 +95,21 @@ func configFor(seed uint64, o Options) (shards int, mode txn.Mode) {
 			mode = txn.Coarse
 		}
 	}
-	return shards, mode
+	// The reactive delta-wakeup path and its full re-query ablation must
+	// both survive every schedule, so the campaign splits seeds between
+	// them.
+	reactive = h&(1<<17) != 0
+	return shards, mode, reactive
 }
 
 // Failure describes one failing (program, seed) pair.
 type Failure struct {
-	Program string
-	Seed    uint64
-	Shards  int
-	Mode    txn.Mode
-	Err     error
+	Program  string
+	Seed     uint64
+	Shards   int
+	Mode     txn.Mode
+	Reactive bool
+	Err      error
 	// Decisions is the number of decisions the failing run drew.
 	Decisions int64
 	// MinLimit is the smallest active-decision budget that still fails
@@ -115,7 +120,7 @@ type Failure struct {
 }
 
 func (f Failure) String() string {
-	s := fmt.Sprintf("%s: seed %d (shards=%d mode=%s): %v", f.Program, f.Seed, f.Shards, f.Mode, f.Err)
+	s := fmt.Sprintf("%s: seed %d (shards=%d mode=%s reactive=%t): %v", f.Program, f.Seed, f.Shards, f.Mode, f.Reactive, f.Err)
 	if f.MinLimit >= 0 {
 		s += fmt.Sprintf("\n  shrunk to %d active decisions (of %d drawn); replay: sdlexplore -program %s -seed %d -limit %d",
 			f.MinLimit, f.Decisions, f.Program, f.Seed, f.MinLimit)
@@ -152,9 +157,9 @@ func Run(opts Options) Report {
 				continue
 			}
 			failed++
-			shards, mode := configFor(seed, opts)
+			shards, mode, reactive := configFor(seed, opts)
 			f := Failure{Program: p.Name, Seed: seed, Shards: shards, Mode: mode,
-				Err: err, Decisions: decisions, MinLimit: -1}
+				Reactive: reactive, Err: err, Decisions: decisions, MinLimit: -1}
 			logf("FAIL %s seed=%d: %v (shrinking...)", p.Name, seed, err)
 			f = Shrink(p, f, opts)
 			rep.Failures = append(rep.Failures, f)
@@ -183,7 +188,7 @@ func RunSeed(p Program, seed uint64, limit int64, opts Options) (int64, error) {
 // runOnce assembles a fresh system under a seed-deterministic controller,
 // runs the program, and verifies the run.
 func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (int64, []sched.Decision, error) {
-	shards, mode := configFor(seed, opts)
+	shards, mode, reactive := configFor(seed, opts)
 	c := sched.New(seed, opts.Faults)
 	if limit >= 0 {
 		c.SetLimit(limit)
@@ -191,7 +196,8 @@ func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (in
 	if traced {
 		c.EnableTrace(0)
 	}
-	store := dataspace.New(dataspace.WithShards(shards), dataspace.WithScheduler(c))
+	store := dataspace.New(dataspace.WithShards(shards), dataspace.WithScheduler(c),
+		dataspace.WithReactive(reactive))
 	clog := trace.NewCommitLog()
 	clog.Attach(store)
 

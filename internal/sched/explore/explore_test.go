@@ -229,18 +229,27 @@ type fakeErr struct{}
 func (*fakeErr) Error() string { return "fake failure" }
 
 func TestConfigForIsPure(t *testing.T) {
+	sawReactive, sawRequery := false, false
 	for seed := uint64(0); seed < 64; seed++ {
-		s1, m1 := configFor(seed, Options{})
-		s2, m2 := configFor(seed, Options{})
-		if s1 != s2 || m1 != m2 {
+		s1, m1, r1 := configFor(seed, Options{})
+		s2, m2, r2 := configFor(seed, Options{})
+		if s1 != s2 || m1 != m2 || r1 != r2 {
 			t.Fatalf("configFor(%d) unstable", seed)
 		}
 		if s1 < 1 || s1 > 8 {
 			t.Errorf("configFor(%d) shards = %d", seed, s1)
 		}
+		if r1 {
+			sawReactive = true
+		} else {
+			sawRequery = true
+		}
+	}
+	if !sawReactive || !sawRequery {
+		t.Errorf("seed split misses an ablation arm: reactive=%t requery=%t", sawReactive, sawRequery)
 	}
 	// Overrides win.
-	s, m := configFor(9, Options{Shards: 2, Mode: 1})
+	s, m, _ := configFor(9, Options{Shards: 2, Mode: 1})
 	if s != 2 || m != 1 {
 		t.Errorf("overrides ignored: shards=%d mode=%v", s, m)
 	}
@@ -249,7 +258,7 @@ func TestConfigForIsPure(t *testing.T) {
 func TestCorpusComplete(t *testing.T) {
 	want := []string{"barrier", "pairing", "philosophers", "proplist", "sort", "sum1", "sum3",
 		"micro-upsert", "micro-commute", "micro-transfer", "micro-consensus", "micro-parallel",
-		"micro-durable", "micro-fair"}
+		"micro-durable", "micro-fair", "micro-reactive"}
 	got := Corpus()
 	if len(got) != len(want) {
 		t.Fatalf("corpus has %d programs, want %d", len(got), len(want))

@@ -226,6 +226,41 @@ main
   spawn Waiter(), spawn Noise(1), spawn Noise(2)
 end
 `
+
+	// microReactiveSrc stresses the delta-driven wakeup paths. Waiter's
+	// pure-positive constant guard is delta-safe: the noise commits land in
+	// its own <job, ...> index bucket but never match, so the reactive path
+	// suppresses those wakeups outright (and the re-query ablation arm must
+	// reach the same final state through full re-evaluation). Taker's
+	// retract guard is NOT delta-safe — its nil filter pins the
+	// full-re-query fallback under the same churn. Release unblocks both.
+	microReactiveSrc = `
+process Waiter(i)
+behavior
+  <job, i, 1> => <done, i>
+end
+
+process Taker(i)
+behavior
+  exists v: <job, i, ?v>! where ?v == 2 => <took, i>
+end
+
+process Noise(k)
+behavior
+  -> <job, k, 0>;
+  -> <job, k + 10, 0>
+end
+
+process Release(i)
+behavior
+  -> <job, i, 1>;
+  -> <job, i + 1, 2>
+end
+
+main
+  spawn Waiter(1), spawn Taker(2), spawn Noise(3), spawn Noise(4), spawn Release(1)
+end
+`
 )
 
 // Corpus returns the exploration corpus: the seven examples/sdl programs
@@ -364,6 +399,15 @@ func Corpus() []Program {
 			Check: exact(map[string]int{
 				"<go, 1>": 1, "<done, 1>": 1,
 				"<n, 1>": 1, "<n, 101>": 1, "<n, 2>": 1, "<n, 102>": 1,
+			}),
+		},
+		{
+			Name: "micro-reactive",
+			Src:  microReactiveSrc,
+			Check: exact(map[string]int{
+				"<job, 1, 1>": 1, "<done, 1>": 1, "<took, 2>": 1,
+				"<job, 3, 0>": 1, "<job, 13, 0>": 1,
+				"<job, 4, 0>": 1, "<job, 14, 0>": 1,
 			}),
 		},
 	}

@@ -66,6 +66,7 @@ const (
 	PointGroupCommit                   // dataspace: group-commit batch apply ordering
 	PointWalSync                       // wal: before a commit blocks on its durability wait
 	PointWalCrash                      // wal: crash-injection cut selection (exploration only)
+	PointReactiveDeliver               // dataspace: subscription delta-delivery ordering
 	NumPoints                          // number of points (not a real point)
 )
 
@@ -110,6 +111,8 @@ func (p Point) String() string {
 		return "wal-sync"
 	case PointWalCrash:
 		return "wal-crash"
+	case PointReactiveDeliver:
+		return "reactive-deliver"
 	default:
 		return "unknown"
 	}

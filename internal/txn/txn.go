@@ -627,30 +627,140 @@ func interestKeys(req Request) []dataspace.InterestKey {
 	return keys
 }
 
+// deltaSafe reports whether a blocked req's guard may be re-evaluated
+// lazily, waking only when a commit asserts a tuple that matches one of
+// its patterns standalone. The class is deliberately conservative — every
+// exclusion falls back to the sound wake-on-any-covering-commit behavior:
+//
+//   - Wildcard footprints scan arbitrary buckets; the interest keys do
+//     not cover them.
+//   - Restricted views with impure (configuration-dependent) matchers can
+//     change an OLD tuple's window membership on an unrelated commit;
+//     universal and pure-matcher (Plannable) views cannot.
+//   - Retract-tagged and negated patterns let retractions flip the guard
+//     from unsatisfiable to satisfiable; only assertions are delta-checked.
+//   - A pattern whose lead is not determined by the request environment,
+//     or with an expression field that is not closed under it, cannot be
+//     matched standalone against a candidate tuple (MatchInto would
+//     wrongly reject tuples whose match depends on earlier join bindings).
+//
+// For the surviving class — pure-positive, lead-known, standalone-
+// matchable patterns under a stable window — an unsatisfiable query
+// becomes satisfiable only when a NEW tuple matching some pattern is
+// asserted, so filtering deltas to standalone pattern matches (ignoring
+// guards and the test query: an over-approximation that may overfire but
+// never suppresses a needed wakeup) is sound under both quantifiers.
+func deltaSafe(req Request) bool {
+	if req.Footprint == footprint.Wildcard {
+		return false
+	}
+	if !req.View.Import.All && !req.View.Plannable() {
+		return false
+	}
+	for _, p := range req.Query.Patterns {
+		if p.Negated || p.Retract {
+			return false
+		}
+		if p.Arity() > 0 {
+			if _, known := p.Lead(req.Env); !known {
+				return false
+			}
+		}
+		for _, f := range p.Fields {
+			if f.Kind == pattern.FieldExpr {
+				if _, err := f.Expr.Eval(req.Env); err != nil {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// deltaFilter compiles req's guard into the publisher-side subscription
+// filter: accept exactly the asserted tuples that match one of the query's
+// patterns standalone under the request environment. It returns nil when
+// the guard is not delta-safe — the subscription then treats every
+// covering commit as requiring a full re-query.
+func deltaFilter(req Request) func(dataspace.Delta) bool {
+	if !deltaSafe(req) {
+		return nil
+	}
+	return func(d dataspace.Delta) bool {
+		if !d.Asserted {
+			return false
+		}
+		for _, p := range req.Query.Patterns {
+			if _, ok := p.MatchInto(d.Inst.Tuple, req.Env); ok {
+				return true
+			}
+		}
+		return false
+	}
+}
+
 // Delayed executes req as a delayed ('⇒') transaction: it blocks until a
 // successful evaluation is possible or ctx is cancelled. The register-then-
 // evaluate protocol guarantees no lost wakeups.
+//
+// With the store's reactive path enabled, the blocked guard registers one
+// delta subscription for the whole wait: commits publish their asserted/
+// retracted tuples through the publisher-side filter, irrelevant commits
+// are suppressed before any wakeup, and the commits of one group-commit
+// drain batch into a single re-evaluation. With it disabled (the E16
+// ablation), every covering commit wakes the waiter for a full re-query
+// through a fresh one-shot Wait registration.
 func (e *Engine) Delayed(ctx context.Context, req Request) (Result, error) {
 	keys := interestKeys(req)
+	if !e.store.Reactive() {
+		for {
+			ch, cancel := e.store.Wait(keys)
+			res, err := e.exec(req, metrics.TxnDelayed)
+			if err != nil {
+				cancel()
+				return Result{}, err
+			}
+			if res.OK {
+				cancel()
+				return res, nil
+			}
+			e.m.IncTxnBlock(metrics.TxnDelayed)
+			select {
+			case <-ch:
+				e.wakeups.Add(1)
+				cancel()
+				e.sc.Yield(sched.PointTxnWakeup)
+			case <-ctx.Done():
+				cancel()
+				return Result{}, ctx.Err()
+			}
+		}
+	}
+
+	filter := deltaFilter(req)
+	sub := e.store.Subscribe(keys, filter)
+	defer sub.Cancel()
 	for {
-		ch, cancel := e.store.Wait(keys)
 		res, err := e.exec(req, metrics.TxnDelayed)
 		if err != nil {
-			cancel()
 			return Result{}, err
 		}
 		if res.OK {
-			cancel()
 			return res, nil
 		}
 		e.m.IncTxnBlock(metrics.TxnDelayed)
 		select {
-		case <-ch:
+		case <-sub.Ready():
 			e.wakeups.Add(1)
-			cancel()
 			e.sc.Yield(sched.PointTxnWakeup)
+			deltas, full := sub.Drain()
+			e.m.IncReactiveEval()
+			if filter != nil && !full && len(deltas) > 0 {
+				e.m.IncReactiveHit()
+			} else {
+				e.m.IncReactiveFallback()
+			}
 		case <-ctx.Done():
-			cancel()
 			return Result{}, ctx.Err()
 		}
 	}

@@ -275,45 +275,89 @@ func TestSystemMetricsInvariants(t *testing.T) {
 			post.KeyCommits, post.ShardFallbacks, post.CoarseCommits, got, post.StoreCommits)
 	}
 
-	// All waiters were satisfied, and shutdown leaves the gauge at zero.
+	// Reactive delta-wakeup accounting: every guard re-evaluation after a
+	// subscription fired was either driven by a concrete delta batch or
+	// fell back to a full re-query — nothing else; a commit can suppress at
+	// most the signals it raised; and the consensus detector can only
+	// elide kicks that commits actually offered.
+	if got := post.ReactiveHits + post.ReactiveFallbacks; got != post.ReactiveEvals {
+		t.Errorf("reactive evals %d != hits %d + fallbacks %d",
+			post.ReactiveEvals, post.ReactiveHits, post.ReactiveFallbacks)
+	}
+	if post.ReactiveSuppressed > post.ReactiveSignals {
+		t.Errorf("reactive suppressed %d > signals %d",
+			post.ReactiveSuppressed, post.ReactiveSignals)
+	}
+	if post.ConsensusKicksSuppressed > post.StoreCommits {
+		t.Errorf("consensus kicks suppressed %d > store commits %d",
+			post.ConsensusKicksSuppressed, post.StoreCommits)
+	}
+	// Every delayed block registered a subscription wait that ended in
+	// exactly one re-evaluation (this workload cancels nothing).
+	if del := post.Txn["delayed"]; post.ReactiveEvals != del.Blocks {
+		t.Errorf("reactive evals %d != delayed blocks %d", post.ReactiveEvals, del.Blocks)
+	}
+
+	// All waiters were satisfied, and shutdown leaves both gauges at zero.
 	sys.Close()
-	if d := sys.Snapshot().WaiterDepth; d != 0 {
+	final := sys.Snapshot()
+	if d := final.WaiterDepth; d != 0 {
 		t.Errorf("waiter depth %d after Close, want 0", d)
+	}
+	if d := final.ReactiveSubscriptions; d != 0 {
+		t.Errorf("live subscriptions %d after Close, want 0", d)
 	}
 }
 
-// The waiter gauge must drain even when waiters are cancelled rather than
-// satisfied.
+// The blocked-guard gauges must drain even when waiters are cancelled
+// rather than satisfied. With reactive wakeups on, a blocked delayed
+// transaction registers a subscription; with them off, a one-shot waiter —
+// both gauges must reach zero after cancellation either way.
 func TestWaiterDepthDrainsOnCancel(t *testing.T) {
-	sys := New(Options{})
-	defer sys.Close()
-	ctx, cancel := context.WithCancel(context.Background())
-	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			_, err := sys.Delayed(ctx, Request{
-				Proc:  ProcessID(i + 1),
-				View:  Universal(),
-				Query: Q(R(C(Atom("never")), C(Int(int64(i))))),
-			})
-			if err == nil {
-				t.Error("cancelled delayed txn returned nil error")
+	for _, reactive := range []bool{true, false} {
+		t.Run(fmt.Sprintf("reactive=%t", reactive), func(t *testing.T) {
+			sys := New(Options{DisableReactive: !reactive})
+			defer sys.Close()
+			depth := func() int64 {
+				snap := sys.Snapshot()
+				return snap.WaiterDepth + snap.ReactiveSubscriptions
 			}
-		}(i)
-	}
-	// Wait until every waiter has registered, then cancel them all.
-	deadline := time.Now().Add(5 * time.Second)
-	for sys.Snapshot().WaiterDepth < 8 {
-		if time.Now().After(deadline) {
-			t.Fatalf("waiters never registered: depth %d", sys.Snapshot().WaiterDepth)
-		}
-		time.Sleep(time.Millisecond)
-	}
-	cancel()
-	wg.Wait()
-	if d := sys.Snapshot().WaiterDepth; d != 0 {
-		t.Errorf("waiter depth %d after cancellation, want 0", d)
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, err := sys.Delayed(ctx, Request{
+						Proc:  ProcessID(i + 1),
+						View:  Universal(),
+						Query: Q(R(C(Atom("never")), C(Int(int64(i))))),
+					})
+					if err == nil {
+						t.Error("cancelled delayed txn returned nil error")
+					}
+				}(i)
+			}
+			// Wait until every waiter has registered, then cancel them all.
+			deadline := time.Now().Add(5 * time.Second)
+			for depth() < 8 {
+				if time.Now().After(deadline) {
+					t.Fatalf("waiters never registered: depth %d", depth())
+				}
+				time.Sleep(time.Millisecond)
+			}
+			snap := sys.Snapshot()
+			if reactive && snap.ReactiveSubscriptions != 8 {
+				t.Errorf("reactive subscriptions %d, want 8", snap.ReactiveSubscriptions)
+			}
+			if !reactive && snap.WaiterDepth != 8 {
+				t.Errorf("waiter depth %d, want 8", snap.WaiterDepth)
+			}
+			cancel()
+			wg.Wait()
+			if d := depth(); d != 0 {
+				t.Errorf("blocked-guard depth %d after cancellation, want 0", d)
+			}
+		})
 	}
 }

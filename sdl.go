@@ -105,6 +105,13 @@ var WithShards = dataspace.WithShards
 // baseline of experiment E13.
 var WithCommuting = dataspace.WithCommuting
 
+// WithReactive enables or disables delta-driven wakeups (on by default).
+// When on, blocked delayed transactions whose guards are delta-safe
+// re-evaluate only against the tuples each commit changed, and commits
+// whose deltas cannot affect a guard do not wake it at all. Disabling it
+// restores the wake-on-any-covering-commit baseline of experiment E16.
+var WithReactive = dataspace.WithReactive
+
 // Expressions (test queries, computed fields, action arguments).
 type (
 	// Expr is a side-effect-free expression over variable bindings.

@@ -25,6 +25,11 @@ type Options struct {
 	// (per-key latches, group commit, epoch reads), demoting every planned
 	// commit to shard-level locking. The E13 ablation baseline.
 	DisableCommuting bool
+	// DisableReactive turns off delta-driven wakeups for blocked delayed
+	// transactions and consensus kick suppression: every covering commit
+	// wakes every blocked guard for a full re-query. The E16 ablation
+	// baseline.
+	DisableReactive bool
 	// WALDir enables durability: commits are appended to a write-ahead
 	// log in this directory and become visible only once durable (per
 	// WALSync), and Open recovers any state the directory already holds —
@@ -71,7 +76,7 @@ func New(opts Options) *System {
 // every commit is durable before it becomes visible.
 func Open(opts Options) (*System, error) {
 	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler),
-		WithCommuting(!opts.DisableCommuting))
+		WithCommuting(!opts.DisableCommuting), WithReactive(!opts.DisableReactive))
 	var (
 		wlog     *WAL
 		recovery *WALRecoveryStats

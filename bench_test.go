@@ -171,3 +171,21 @@ func BenchmarkE16ReactiveWakeups(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE17SecondaryIndex runs the field-addressed lookup workload once
+// per iteration: n records keyed by a non-lead group field, then ∀ group
+// fetches and two-leg joins that address them by that field. With
+// secondary=true the scanned shape promotes an adaptive field index and
+// lookups visit only its value buckets; secondary=false walks the arity
+// population.
+func BenchmarkE17SecondaryIndex(b *testing.B) {
+	for _, n := range []int{20000} {
+		for _, secondary := range []bool{false, true} {
+			b.Run(fmt.Sprintf("n=%d/secondary=%v", n, secondary), func(b *testing.B) {
+				benchExperiment(b, func(context.Context) error {
+					return bench.SecondaryLookups(n, secondary)
+				})
+			})
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Command sdlbench runs the paper-reproduction experiments (E1–E16, see
+// Command sdlbench runs the paper-reproduction experiments (E1–E17, see
 // DESIGN.md §4) as full parameter sweeps and prints one table per
 // experiment. EXPERIMENTS.md records a reference run.
 //
@@ -143,6 +143,13 @@ func experiments() []experiment {
 			},
 			func(ctx context.Context) (*bench.Table, error) {
 				return bench.E16ReactiveWakeups(ctx, []int{50, 200, 800})
+			}},
+		{"E17",
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E17SecondaryIndex(ctx, []int{20000})
+			},
+			func(ctx context.Context) (*bench.Table, error) {
+				return bench.E17SecondaryIndex(ctx, []int{10000, 100000, 400000})
 			}},
 	}
 }

@@ -46,6 +46,11 @@
 //	                          transactions (default true); -reactive=false
 //	                          restores the full re-query baseline of
 //	                          experiment E16
+//	-secondary-index          adaptive secondary field indexes and
+//	                          selectivity-guided join planning (default
+//	                          true); -secondary-index=false restores full
+//	                          arity scans and the boundness heuristic, the
+//	                          baseline of experiment E17
 package main
 
 import (
@@ -166,25 +171,26 @@ func vetProgram(prog *lang.Program, mode string) error {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sdli", flag.ContinueOnError)
 	var (
-		modeName  = fs.String("mode", "coarse", "concurrency control: coarse or optimistic")
-		shards    = fs.Int("shards", 0, "dataspace shard count, rounded up to a power of two (0 = GOMAXPROCS default)")
-		timeout   = fs.Duration("timeout", time.Minute, "abort the run after this long")
+		modeName    = fs.String("mode", "coarse", "concurrency control: coarse or optimistic")
+		shards      = fs.Int("shards", 0, "dataspace shard count, rounded up to a power of two (0 = GOMAXPROCS default)")
+		timeout     = fs.Duration("timeout", time.Minute, "abort the run after this long")
 		dump        = fs.Bool("dump", false, "print the final dataspace contents")
 		showTrace   = fs.Bool("trace", false, "print the dataspace event log")
 		showStats   = fs.Bool("stats", false, "print engine/runtime statistics and metrics")
 		metricsAddr = fs.String("metrics-addr", "", "serve the metrics snapshot over HTTP on this address (expvar, /debug/vars)")
-		format    = fs.Bool("fmt", false, "format the program to stdout instead of running it")
-		watch     = fs.Duration("watch", 0, "print dataspace size/version on this cadence while running")
-		svgPath   = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
-		restore   = fs.String("restore", "", "load a dataspace checkpoint before running")
-		ckptPath  = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
-		walDir    = fs.String("wal-dir", "", "recover from and durably log commits to this write-ahead-log directory")
-		walSync   = fs.String("wal-sync", "commit", "WAL fsync policy: commit, batch, or interval")
+		format      = fs.Bool("fmt", false, "format the program to stdout instead of running it")
+		watch       = fs.Duration("watch", 0, "print dataspace size/version on this cadence while running")
+		svgPath     = fs.String("svg", "", "write a tuple-lifetime timeline SVG to this file after the run")
+		restore     = fs.String("restore", "", "load a dataspace checkpoint before running")
+		ckptPath    = fs.String("checkpoint", "", "write the final dataspace to this checkpoint file")
+		walDir      = fs.String("wal-dir", "", "recover from and durably log commits to this write-ahead-log directory")
+		walSync     = fs.String("wal-sync", "commit", "WAL fsync policy: commit, batch, or interval")
 
 		schedSeed   = fs.Int64("sched-seed", -1, "deterministic schedule-controller seed (-1 = off)")
 		schedFaults = fs.String("sched-faults", "light", "fault profile under -sched-seed: off, light, or heavy")
 		refine      = fs.Bool("refine", true, "apply the interprocedural footprint refiner (analysis/dataflow) at compile time")
 		reactive    = fs.Bool("reactive", true, "delta-driven wakeups for blocked delayed transactions (false = full re-query baseline)")
+		secondary   = fs.Bool("secondary-index", true, "adaptive secondary field indexes and selectivity-guided join planning (false = arity-scan baseline)")
 	)
 	vet := &vetFlag{mode: "off"}
 	fs.Var(vet, "vet", `run the static analyzer first: "on" refuses to run on errors, "warn" reports and runs anyway`)
@@ -247,7 +253,7 @@ func run(args []string) error {
 	}
 
 	store := dataspace.New(dataspace.WithShards(*shards), dataspace.WithScheduler(sc),
-		dataspace.WithReactive(*reactive))
+		dataspace.WithReactive(*reactive), dataspace.WithSecondaryIndex(*secondary))
 	var wlog *wal.Log
 	if *walDir != "" {
 		if *restore != "" {
@@ -435,6 +441,11 @@ func printMetrics(snap metrics.Snapshot) {
 		fmt.Printf("  reactive      %d signals (%d suppressed), %d evals (%d delta hits, %d full re-queries), %d consensus kicks suppressed\n",
 			snap.ReactiveSignals, snap.ReactiveSuppressed, snap.ReactiveEvals,
 			snap.ReactiveHits, snap.ReactiveFallbacks, snap.ConsensusKicksSuppressed)
+	}
+	if snap.SecondaryFieldScans > 0 {
+		fmt.Printf("  sec index     %d field scans (%d indexed, %d arity walks), %d tuples visited, %d promotions, %d demotions\n",
+			snap.SecondaryFieldScans, snap.SecondaryIndexedScans, snap.SecondaryArityScans,
+			snap.SecondaryTuplesVisited, snap.SecondaryPromotions, snap.SecondaryDemotions)
 	}
 	fmt.Printf("  consensus     %d detection rounds, mean community %.1f\n",
 		snap.ConsensusRounds, snap.ConsensusCommunity.Mean())

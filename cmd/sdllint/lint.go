@@ -51,7 +51,7 @@ var classByName = map[string]int{
 // Finding is one lock-discipline violation.
 type Finding struct {
 	Pos  token.Position
-	Rule string // lock-order, leaf-lock, unlocked-mutation, rlock-mutation, unlocked-append, rlock-append
+	Rule string // lock-order, leaf-lock, unlocked-mutation, rlock-mutation, unlocked-append, rlock-append, unlocked-index
 	Msg  string
 }
 
@@ -138,7 +138,10 @@ func newScope(fset *token.FileSet, name string) *scope {
 
 // seedAnnotation reads a `lint:holds <class ...>` line from the doc
 // comment and marks those classes as exclusively held on entry — the
-// contract that the function's callers hold them.
+// contract that the function's callers hold them. The special name `rmu`
+// seeds a read-held mu: enough for the operations that only need *some*
+// shard lock (secondary-index bucket builds), but not for exclusive
+// mutations.
 func (sc *scope) seedAnnotation(doc *ast.CommentGroup) {
 	if doc == nil {
 		return
@@ -151,6 +154,10 @@ func (sc *scope) seedAnnotation(doc *ast.CommentGroup) {
 		for _, f := range strings.FieldsFunc(strings.TrimPrefix(text, "lint:holds"), func(r rune) bool {
 			return r == ' ' || r == ',' || r == '\t'
 		}) {
+			if f == "rmu" {
+				sc.held[classMu] = &heldLock{n: 1, excl: false}
+				continue
+			}
 			if class, ok := classByName[f]; ok {
 				sc.held[class] = &heldLock{n: 1, excl: true}
 			}
@@ -320,10 +327,14 @@ func (sc *scope) walkExpr(e ast.Expr) {
 // a durability append, an index mutation, or an ordinary call (whose
 // arguments may carry function literals and nested calls).
 func (sc *scope) callEvent(call *ast.CallExpr) {
-	// delete(sh.entries, id) is a mutation of the live store.
+	// delete(sh.entries, id) is a mutation of the live store; deletes from a
+	// secondary-index bucket map need at least a shard lock.
 	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) > 0 {
-		if chainOf(call.Args[0]) != "" && strings.HasSuffix(chainOf(call.Args[0]), ".entries") {
+		switch chain := chainOf(call.Args[0]); {
+		case strings.HasSuffix(chain, ".entries"):
 			sc.requireExclusiveMu(call.Pos(), "mutation", "delete from the live entries map")
+		case strings.HasSuffix(chain, ".buckets"):
+			sc.requireAnyMu(call.Pos(), "delete from a secondary-index bucket map")
 		}
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -363,8 +374,12 @@ func (sc *scope) callEvent(call *ast.CallExpr) {
 	case "runlockSet":
 		sc.release(classMu)
 		return
-	case "indexAdd", "indexRemove":
+	case "indexAdd", "indexRemove", "secAdd", "secRemove":
 		sc.requireExclusiveMu(call.Pos(), "mutation", method+" on the shard indexes")
+	case "bumpSeq":
+		// Advances the change sequence and re-stamps maintained field
+		// indexes: commit-publication work, exclusive mu only.
+		sc.requireExclusiveMu(call.Pos(), "mutation", "change-sequence bump")
 	case "Append":
 		if strings.HasSuffix(recv, ".durable") {
 			sc.requireExclusiveMu(call.Pos(), "append", "durability append")
@@ -376,14 +391,21 @@ func (sc *scope) callEvent(call *ast.CallExpr) {
 	}
 }
 
-// mutationEvent flags assignments into the live entries map.
+// mutationEvent flags assignments into the live entries map (exclusive mu
+// only) and into secondary-index bucket maps (any shard lock: a fresh
+// index is built under the read lock and atomically published, but a
+// published index is mutated only by the exclusive-mu maintenance hooks —
+// a bucket write with no lock at all is always a bug).
 func (sc *scope) mutationEvent(lhs ast.Expr) {
 	idx, ok := lhs.(*ast.IndexExpr)
 	if !ok {
 		return
 	}
-	if strings.HasSuffix(chainOf(idx.X), ".entries") {
+	switch chain := chainOf(idx.X); {
+	case strings.HasSuffix(chain, ".entries"):
 		sc.requireExclusiveMu(lhs.Pos(), "mutation", "write to the live entries map")
+	case strings.HasSuffix(chain, ".buckets"):
+		sc.requireAnyMu(lhs.Pos(), "write to a secondary-index bucket map")
 	}
 }
 
@@ -448,6 +470,17 @@ func terminates(b *ast.BlockStmt) bool {
 func (sc *scope) release(class int) {
 	if h := sc.held[class]; h != nil && h.n > 0 {
 		h.n--
+	}
+}
+
+// requireAnyMu demands that *some* shard mu (read or write) is held — the
+// discipline for secondary-index bucket maps, whose lazy builds run under
+// the read lock (see internal/dataspace/secondary.go).
+func (sc *scope) requireAnyMu(pos token.Pos, what string) {
+	if h := sc.held[classMu]; h == nil || h.n == 0 {
+		sc.addf(pos, "unlocked-index",
+			"%s performs a %s with no shard mu held at all (annotate with `lint:holds mu` or `lint:holds rmu` if the callers lock)",
+			sc.name, what)
 	}
 }
 

@@ -93,3 +93,60 @@ func closureScope(sh *shard, run func(func())) {
 		sh.mu.Unlock()
 	})
 }
+
+type fieldIndex struct {
+	buckets map[int]map[int]struct{}
+}
+
+type shapeStats struct{ idx *fieldIndex }
+
+// bareIndexWrite mutates a secondary-index bucket map with no shard lock
+// held at all — a published index may only be touched by the exclusive-mu
+// maintenance hooks, and even a fresh build holds at least the read lock.
+func bareIndexWrite(st *shapeStats) {
+	st.idx.buckets[1] = nil // want unlocked-index
+}
+
+// bareIndexDelete drops a bucket with no shard lock.
+func bareIndexDelete(st *shapeStats) {
+	delete(st.idx.buckets, 1) // want unlocked-index
+}
+
+// bareSecMaintain calls the secondary-index maintenance hook without the
+// exclusive mu the hook's bucket mutations require.
+func bareSecMaintain(sh *shard) {
+	sh.secAdd(1, 2) // want unlocked-mutation
+}
+
+// rlockSecMaintain holds only the read lock across maintenance — the hook
+// mutates published buckets, so the exclusive lock is required.
+func rlockSecMaintain(sh *shard) {
+	sh.mu.RLock()
+	sh.secRemove(1, 2) // want rlock-mutation
+	sh.mu.RUnlock()
+}
+
+// rlockBump bumps the change sequence under a read lock; sequence bumps
+// are commit publication and need the exclusive mu.
+func rlockBump(sh *shard) {
+	sh.mu.RLock()
+	sh.bumpSeq() // want rlock-mutation
+	sh.mu.RUnlock()
+}
+
+// readLockedRebuild is CLEAN: a fresh index build may run under the read
+// lock (racing builders each fill their own map and publication is an
+// atomic store), declared by the read-held annotation.
+//
+// lint:holds rmu
+func readLockedRebuild(st *shapeStats) {
+	st.idx.buckets[2] = nil
+}
+
+// rmuIsNotExclusive: the read-held annotation must NOT satisfy the
+// exclusive-mu rules.
+//
+// lint:holds rmu
+func rmuIsNotExclusive(sh *shard) {
+	sh.entries[7] = 8 // want rlock-mutation
+}

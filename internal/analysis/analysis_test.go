@@ -57,6 +57,7 @@ func TestGolden(t *testing.T) {
 		{"hygiene", analysis.Options{Checks: []string{analysis.CheckHygiene}}},
 		{"footprint", analysis.Options{Checks: []string{analysis.CheckFootprint}}},
 		{"dataflow", analysis.Options{Checks: []string{analysis.CheckDataflow}}},
+		{"scanheavy", analysis.Options{Checks: []string{analysis.CheckDataflow}}},
 		{"clean", analysis.Options{}},
 	}
 	for _, tc := range cases {

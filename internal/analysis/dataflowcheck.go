@@ -3,6 +3,7 @@ package analysis
 import (
 	"github.com/sdl-lang/sdl/internal/analysis/dataflow"
 	"github.com/sdl-lang/sdl/internal/analysis/footprint"
+	"github.com/sdl-lang/sdl/internal/lang"
 )
 
 // runDataflow is the interprocedural footprint pass: it runs the
@@ -54,9 +55,49 @@ func runDataflow(p *pass) {
 						ld.What, ld.Index, ld.Why)
 					break // one witness per transaction
 				}
+				// A query pattern whose lead never grounds — under every
+				// spawn environment the interprocedural analysis can see —
+				// makes the matcher walk its whole arity. Report which of
+				// those scans the adaptive secondary index can absorb.
+				for _, ld := range j.Leads {
+					if ld.Ground || ld.What != "pattern" ||
+						ld.Index < 1 || ld.Index > len(ti.txn.Items) {
+						continue
+					}
+					if scanSelective(ti.txn.Items[ld.Index-1].Pattern) {
+						p.addf(ld.Pos, CheckDataflow, Note,
+							"scan-heavy: pattern %d runs a full arity scan under every spawn environment (its lead never grounds); its constant non-lead field(s) key the adaptive secondary index once the shape promotes (-secondary-index)",
+							ld.Index)
+					} else {
+						p.addf(ld.Pos, CheckDataflow, Note,
+							"scan-heavy: pattern %d runs a full arity scan under every spawn environment (its lead never grounds) and no non-lead field is constant — neither the lead index nor the secondary index can narrow it",
+							ld.Index)
+					}
+				}
 			}
 		}
 	}
+}
+
+// scanSelective reports whether the pattern carries a non-lead field the
+// adaptive secondary index can key on: a literal or a bare identifier
+// (atoms and process constants both resolve to concrete values at match
+// time). Wildcards and fresh variables select nothing.
+func scanSelective(pat lang.PatternNode) bool {
+	if len(pat.Fields) < 2 {
+		return false
+	}
+	for _, f := range pat.Fields[1:] {
+		ef, ok := f.(lang.ExprField)
+		if !ok {
+			continue
+		}
+		switch ef.Expr.(type) {
+		case *lang.LitNode, *lang.IdentNode:
+			return true
+		}
+	}
+	return false
 }
 
 // dataflowResult lazily runs the interprocedural analysis; the footprint

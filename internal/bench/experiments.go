@@ -1450,3 +1450,160 @@ func ReactiveWakeups(ctx context.Context, waiters int, reactive bool) error {
 	_, err := reactiveWakeupCell(ctx, s, txn.New(s, txn.Coarse), waiters, 300)
 	return err
 }
+
+// secondaryLoad fills the store with the E17 dataset: n arity-3 records
+// <i, rec, i%groups> — every lead unique, so the (arity, lead) index never
+// narrows a lookup and a wildcard-lead query degrades to a full arity scan
+// — plus one probe row <p, link, p> per group for the join leg.
+func secondaryLoad(s *dataspace.Store, n, groups int) {
+	rec, link := tuple.Atom("rec"), tuple.Atom("link")
+	batch := make([]tuple.Tuple, 0, 4096)
+	flush := func() {
+		if len(batch) > 0 {
+			s.Assert(tuple.Environment, batch...)
+			batch = batch[:0]
+		}
+	}
+	for i := 0; i < n; i++ {
+		batch = append(batch, tuple.New(
+			tuple.Int(int64(i)), rec, tuple.Int(int64(i%groups))))
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	for p := 0; p < groups; p++ {
+		batch = append(batch, tuple.New(
+			tuple.Int(int64(p)), link, tuple.Int(int64(p%groups))))
+		if len(batch) == cap(batch) {
+			flush()
+		}
+	}
+	flush()
+}
+
+// secondaryLookups issues reps rounds of the two E17 queries. The point
+// lookup <?x, rec, G> constrains only non-lead fields, so the ablated
+// store walks every arity-3 tuple while the indexed store reads one
+// (arity, pos-2, G) bucket. The join's first leg <P, link, ?g> is
+// lead-keyed and binds ?g; its second leg <?y, rec, ?g> is selective only
+// through the runtime-bound ?g field, exercising both the bound-variable
+// field selector and the estimator-driven join order (the selective leg
+// must run second — ?g is unbound before the probe row binds it).
+// secondaryLookups runs the measured phase: per rep, one ∀ group fetch
+// addressed by the non-lead group field and one ∀ probe join whose second
+// leg the planner orders by field selectivity. Universal quantification
+// keeps the visited-candidate counters deterministic — an ∃ lookup stops
+// at the first hit, which floats with shard/bucket iteration order and
+// would make the benchgate series flap run to run.
+func secondaryLookups(e *txn.Engine, reps, groups int) error {
+	rec, link := tuple.Atom("rec"), tuple.Atom("link")
+	for i := 0; i < reps; i++ {
+		g := int64(i % groups)
+		res, err := e.Immediate(txn.Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.QAll(pattern.P(
+				pattern.V("x"), pattern.C(rec), pattern.C(tuple.Int(g)))),
+		})
+		if err != nil {
+			return err
+		}
+		if !res.OK || len(res.Solutions) == 0 {
+			return fmt.Errorf("lookup g=%d missed", g)
+		}
+		res, err = e.Immediate(txn.Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.QAll(
+				pattern.P(pattern.C(tuple.Int(g)), pattern.C(link), pattern.V("g")),
+				pattern.P(pattern.V("y"), pattern.C(rec), pattern.V("g")),
+			),
+		})
+		if err != nil {
+			return err
+		}
+		if !res.OK || len(res.Solutions) == 0 {
+			return fmt.Errorf("join p=%d missed", g)
+		}
+	}
+	return nil
+}
+
+// E17SecondaryIndex is the ablation for the adaptive secondary field
+// indexes and the selectivity-guided join planner they feed (DESIGN.md
+// section 12). Both arms run the same wildcard-lead lookups and probe
+// joins after an identical warm-up; the indexed arm's warm-up pushes the
+// (arity-3, pos) shapes past the promotion bar and builds their buckets,
+// so the measured loop sees the steady state of each configuration. The
+// tuples/txn column is the visited-candidate count the matcher actually
+// enumerated — the quantity the index exists to shrink.
+func E17SecondaryIndex(_ context.Context, sizes []int) (*Table, error) {
+	t := &Table{
+		ID:    "E17",
+		Title: "ablation: adaptive secondary field indexes + selectivity join planning vs full arity scans",
+		Note:  "per-(arity, field, value) buckets promoted by scan pressure; the planner orders joins by estimated candidates visited (DESIGN.md section 12)",
+	}
+	const (
+		groups   = 1024
+		scanReps = 50
+		warmReps = 4
+	)
+	for _, n := range sizes {
+		row := Row{Config: fmt.Sprintf("n=%d groups=%d", n, groups)}
+		for _, secondary := range []bool{false, true} {
+			s := dataspace.New(dataspace.WithShards(8), dataspace.WithSecondaryIndex(secondary))
+			e := txn.New(s, txn.Coarse)
+			secondaryLoad(s, n, groups)
+			if err := secondaryLookups(e, warmReps, groups); err != nil {
+				return nil, fmt.Errorf("E17 warm secondary=%v n=%d: %w", secondary, n, err)
+			}
+			// The indexed arm's per-txn time is three orders of magnitude
+			// smaller, so it gets proportionally more reps — the reported
+			// metrics are per transaction, so the arms stay comparable
+			// while both measurement windows are long enough to read.
+			reps := scanReps
+			if secondary {
+				reps = 40 * scanReps
+			}
+			before := s.Metrics().Snapshot()
+			d, err := timeIt(func() error { return secondaryLookups(e, reps, groups) })
+			if err != nil {
+				return nil, fmt.Errorf("E17 secondary=%v n=%d: %w", secondary, n, err)
+			}
+			after := s.Metrics().Snapshot()
+			queries := float64(2 * reps)
+			visited := float64(after.SecondaryTuplesVisited - before.SecondaryTuplesVisited)
+			name := "scan"
+			if secondary {
+				name = "indexed"
+			}
+			row.Metrics = append(row.Metrics,
+				Metric{Name: name, Value: float64(d.Microseconds()) / queries, Unit: "us/txn"},
+				Metric{Name: name + " visited", Value: visited / queries, Unit: "tuples/txn"})
+			if secondary {
+				fieldScans := after.SecondaryFieldScans - before.SecondaryFieldScans
+				share := 0.0
+				if fieldScans > 0 {
+					share = 100 * float64(after.SecondaryIndexedScans-before.SecondaryIndexedScans) / float64(fieldScans)
+				}
+				row.Metrics = append(row.Metrics,
+					Count("promotions", float64(after.SecondaryPromotions), "shapes"),
+					Metric{Name: "indexed share", Value: share, Unit: "%"})
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// SecondaryLookups runs one configuration of the E17 workload (for the
+// testing.B benchmark): load, warm, then one measured round of lookups
+// and joins with the secondary-index layer on or off.
+func SecondaryLookups(n int, secondary bool) error {
+	s := dataspace.New(dataspace.WithShards(8), dataspace.WithSecondaryIndex(secondary))
+	e := txn.New(s, txn.Coarse)
+	secondaryLoad(s, n, 1024)
+	// Enough lookup rounds that the measured phase dominates the load
+	// (each ∀ round on the scan arm walks the whole arity population).
+	return secondaryLookups(e, 20, 1024)
+}

@@ -21,12 +21,18 @@ import (
 // rebuild over arbitrarily many lock-free reads.
 
 // shardSnap is an immutable snapshot of one shard's contents, stamped with
-// the change sequence it was built at.
+// the change sequence it was built at. byField materializes the buckets of
+// every shape that was hot in the shard's secondary index at build time;
+// fieldShapes records which (arity, pos) shapes were materialized (bit pos
+// of fieldShapes[arity]) so an absent bucket of a materialized shape
+// proves emptiness instead of forcing an arity scan.
 type shardSnap struct {
-	seq     uint64
-	insts   []Instance
-	byLead  map[indexKey][]Instance
-	byArity map[int][]Instance
+	seq         uint64
+	insts       []Instance
+	byLead      map[indexKey][]Instance
+	byArity     map[int][]Instance
+	byField     map[fieldKey][]Instance
+	fieldShapes [maxFieldArity + 1]uint8
 }
 
 // buildSnap materializes a snapshot of sh. The caller holds sh.mu (read or
@@ -38,6 +44,15 @@ func buildSnap(sh *shard, seq uint64) *shardSnap {
 		byLead:  make(map[indexKey][]Instance, len(sh.byLead)),
 		byArity: make(map[int][]Instance, len(sh.byArity)),
 	}
+	if sh.sec.hot.Load() != 0 {
+		for a := 2; a <= maxFieldArity; a++ {
+			for pos := 1; pos < a; pos++ {
+				if sh.sec.shapes[a][pos].state.Load() == shapeHot {
+					snap.fieldShapes[a] |= 1 << pos
+				}
+			}
+		}
+	}
 	for id, e := range sh.entries {
 		inst := Instance{ID: id, Tuple: e.t, Owner: e.owner}
 		snap.insts = append(snap.insts, inst)
@@ -46,6 +61,18 @@ func buildSnap(sh *shard, seq uint64) *shardSnap {
 		if a > 0 {
 			k := indexKey{arity: a, lead: canonLead(e.t.Field(0))}
 			snap.byLead[k] = append(snap.byLead[k], inst)
+		}
+		if a >= 2 && a <= maxFieldArity && snap.fieldShapes[a] != 0 {
+			for pos := 1; pos < a; pos++ {
+				if snap.fieldShapes[a]&(1<<pos) == 0 {
+					continue
+				}
+				if snap.byField == nil {
+					snap.byField = make(map[fieldKey][]Instance)
+				}
+				fk := fieldKey{arity: a, pos: pos, val: canonLead(e.t.Field(pos))}
+				snap.byField[fk] = append(snap.byField[fk], inst)
+			}
 		}
 	}
 	return snap

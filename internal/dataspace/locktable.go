@@ -450,7 +450,7 @@ func (s *Store) groupCommit(si uint32, kw *keyWriter) (CommitRecord, uint64) {
 		for _, it := range batch {
 			it.rec, it.dtok = s.applyBuffered(it.kw)
 		}
-		sh.seq.Add(1)
+		sh.bumpSeq()
 		s.metrics.ObserveGroupBatch(len(batch))
 		for _, it := range batch {
 			close(it.done)

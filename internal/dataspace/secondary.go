@@ -1,0 +1,511 @@
+package dataspace
+
+import (
+	"sync/atomic"
+
+	"github.com/sdl-lang/sdl/internal/metrics"
+	"github.com/sdl-lang/sdl/internal/pattern"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// Adaptive secondary field indexes. The lead index (shard.byLead) only
+// serves patterns whose leading field is known; every other constrained
+// pattern — e.g. a constant in position 2 — degenerated to a full arity
+// scan. This file adds, per shard, field-value indexes
+//
+//	(arity, field-pos, canonical value) → tuple-ID set
+//
+// built adaptively: each (arity, field-pos) scan shape carries an atomic
+// fallback-scan counter, and a shape whose counter crosses the promotion
+// threshold flips to hot. A hot shape's buckets are populated lazily — the
+// first scan that needs them builds them under the shard lock already held
+// for the read — then maintained incrementally by every assert/retract
+// (writer, rollback, and the keyWriter's batched apply all funnel through
+// indexAdd/indexRemove) and validated by the same change sequence the
+// epoch snapshots use. Shapes whose write traffic dwarfs their scan usage
+// are demoted back to cold, dropping their buckets.
+//
+// Concurrency discipline (checked by cmd/sdllint): bucket maps are
+// mutated only while the shard's exclusive mu is held; readers touch them
+// only under at least mu.RLock, where a published fieldIndex whose seq
+// matches the shard's is immutable (writers need the exclusive mu to
+// change either). Shape state, scan, and write counters are atomics so the
+// read path stays lock-free-ish under mu.RLock; the cold→hot transition is
+// a CAS that concurrent scanners race benignly.
+
+const (
+	// maxFieldArity bounds the shapes tracked per shard; tuples with more
+	// fields fall back to arity scans (none of the paper's examples come
+	// close).
+	maxFieldArity = 8
+	// promoteScanBar is the number of fallback arity scans a shape absorbs
+	// before it is promoted.
+	promoteScanBar = 2
+	// demoteMinWrites is the write count (since promotion) below which a
+	// hot shape is never demoted; past it, a shape whose writes outnumber
+	// its indexed scans 8:1 drops its buckets.
+	demoteMinWrites = 256
+	// demoteCheckMask rate-limits the demotion check to every 256th write.
+	demoteCheckMask = 0xFF
+)
+
+// Shape lifecycle states.
+const (
+	shapeCold uint32 = iota // counting fallback scans
+	shapeHot                // promoted: buckets built lazily, maintained incrementally
+)
+
+// fieldKey addresses one bucket of a secondary field index (the epoch
+// snapshot's materialized form; the live index nests per-shape maps).
+type fieldKey struct {
+	arity int
+	pos   int
+	val   leadKey
+}
+
+// fieldIndex is one hot shape's bucket map, stamped with the shard change
+// sequence it is consistent with. A stale stamp (any commit the index was
+// not maintained through) makes readers rebuild from the live maps.
+type fieldIndex struct {
+	seq     uint64
+	buckets map[leadKey]map[tuple.ID]struct{}
+}
+
+// shapeStats is the adaptive state of one (arity, field-pos) scan shape.
+type shapeStats struct {
+	state  atomic.Uint32 // shapeCold | shapeHot
+	scans  atomic.Uint64 // cold: fallback scans toward promotion; hot: indexed scans
+	writes atomic.Uint64 // hot: writes at this arity since promotion
+	idx    atomic.Pointer[fieldIndex]
+}
+
+// secondaryState is a shard's field-index layer. The shapes table is
+// fixed-size so counting on the read path never allocates or locks.
+type secondaryState struct {
+	enabled bool
+	met     *metrics.Registry
+	hot     atomic.Int32 // promoted shapes in this shard (fast skip for writers)
+	shapes  [maxFieldArity + 1][maxFieldArity]shapeStats
+}
+
+// secShape returns the stats slot for (arity, pos), or nil when the shape
+// is outside the tracked range (pos 0 is the lead index's job).
+func (sh *shard) secShape(arity, pos int) *shapeStats {
+	if arity < 2 || arity > maxFieldArity || pos < 1 || pos >= arity {
+		return nil
+	}
+	return &sh.sec.shapes[arity][pos]
+}
+
+// shapeIndex returns the shape's bucket map, rebuilding it when the shard
+// has changed since it was built. The caller holds sh.mu (read or write),
+// so the live maps and seq are stable; concurrent readers may race to
+// rebuild and the last published wins — the epoch snapshot cache idiom
+// (epoch.go).
+//
+// lint:holds rmu
+func (sh *shard) shapeIndex(st *shapeStats, arity, pos int) *fieldIndex {
+	seq := sh.seq.Load()
+	if idx := st.idx.Load(); idx != nil && idx.seq == seq {
+		return idx
+	}
+	idx := &fieldIndex{seq: seq, buckets: make(map[leadKey]map[tuple.ID]struct{})}
+	for id := range sh.byArity[arity] {
+		k := canonLead(sh.entries[id].t.Field(pos))
+		b := idx.buckets[k]
+		if b == nil {
+			b = make(map[tuple.ID]struct{})
+			idx.buckets[k] = b
+		}
+		b[id] = struct{}{}
+	}
+	st.idx.Store(idx)
+	return idx
+}
+
+// fieldBucket picks the most selective promoted bucket among sels: the
+// smallest (arity, pos, value) ID set over every hot selector shape.
+// ok=true with a nil bucket means an index proved there are no matches.
+// The caller holds sh.mu (read or write).
+func (s *Store) fieldBucket(sh *shard, arity int, sels []pattern.FieldSel) (map[tuple.ID]struct{}, bool) {
+	if !sh.sec.enabled || sh.sec.hot.Load() == 0 {
+		return nil, false
+	}
+	var (
+		best map[tuple.ID]struct{}
+		ok   bool
+	)
+	for _, sel := range sels {
+		st := sh.secShape(arity, sel.Pos)
+		if st == nil || st.state.Load() != shapeHot {
+			continue
+		}
+		st.scans.Add(1)
+		b := sh.shapeIndex(st, arity, sel.Pos).buckets[canonLead(sel.Val)]
+		if !ok || len(b) < len(best) {
+			best, ok = b, true
+		}
+	}
+	return best, ok
+}
+
+// countFieldShapes charges one fallback arity scan to every selector's
+// shape, promoting shapes that cross the threshold (unless the scheduler
+// defers the promotion — the exploration harness perturbs build timing
+// through this decision point). Runs under sh.mu or lock-free from the
+// epoch path; the transition is a CAS.
+func (s *Store) countFieldShapes(sh *shard, arity int, sels []pattern.FieldSel) {
+	if !sh.sec.enabled {
+		return
+	}
+	for _, sel := range sels {
+		st := sh.secShape(arity, sel.Pos)
+		if st == nil || st.state.Load() != shapeCold {
+			continue
+		}
+		if st.scans.Add(1) < promoteScanBar {
+			continue
+		}
+		if s.sc.DeferPromote() {
+			continue
+		}
+		if st.state.CompareAndSwap(shapeCold, shapeHot) {
+			st.scans.Store(0)
+			st.writes.Store(0)
+			sh.sec.hot.Add(1)
+			s.metrics.IncIndexPromotion()
+		}
+	}
+}
+
+// secAdd maintains hot shape buckets for one insert. Shapes whose index is
+// stale (a commit slipped by unmaintained) are left for the next reader to
+// rebuild; shapes that turned write-heavy are demoted here.
+//
+// lint:holds mu
+func (sh *shard) secAdd(id tuple.ID, t tuple.Tuple) {
+	if sh.sec.hot.Load() == 0 {
+		return
+	}
+	a := t.Arity()
+	if a < 2 || a > maxFieldArity {
+		return
+	}
+	for pos := 1; pos < a; pos++ {
+		st := &sh.sec.shapes[a][pos]
+		if st.state.Load() != shapeHot || sh.secWrite(st) {
+			continue
+		}
+		idx := st.idx.Load()
+		if idx == nil || idx.seq != sh.seq.Load() {
+			continue
+		}
+		k := canonLead(t.Field(pos))
+		b := idx.buckets[k]
+		if b == nil {
+			b = make(map[tuple.ID]struct{})
+			idx.buckets[k] = b
+		}
+		b[id] = struct{}{}
+	}
+}
+
+// secRemove is secAdd's inverse for one delete.
+//
+// lint:holds mu
+func (sh *shard) secRemove(id tuple.ID, t tuple.Tuple) {
+	if sh.sec.hot.Load() == 0 {
+		return
+	}
+	a := t.Arity()
+	if a < 2 || a > maxFieldArity {
+		return
+	}
+	for pos := 1; pos < a; pos++ {
+		st := &sh.sec.shapes[a][pos]
+		if st.state.Load() != shapeHot || sh.secWrite(st) {
+			continue
+		}
+		idx := st.idx.Load()
+		if idx == nil || idx.seq != sh.seq.Load() {
+			continue
+		}
+		k := canonLead(t.Field(pos))
+		if b := idx.buckets[k]; b != nil {
+			delete(b, id)
+			if len(b) == 0 {
+				delete(idx.buckets, k)
+			}
+		}
+	}
+}
+
+// secWrite charges one write to a hot shape and demotes it when its write
+// rate since promotion dwarfs its indexed-scan usage; reports whether the
+// shape was demoted.
+//
+// lint:holds mu
+func (sh *shard) secWrite(st *shapeStats) bool {
+	w := st.writes.Add(1)
+	if w&demoteCheckMask != 0 || w < demoteMinWrites {
+		return false
+	}
+	if w <= 8*(st.scans.Load()+1) {
+		return false
+	}
+	st.state.Store(shapeCold)
+	st.idx.Store(nil)
+	st.scans.Store(0)
+	st.writes.Store(0)
+	sh.sec.hot.Add(-1)
+	sh.sec.met.IncIndexDemotion()
+	return true
+}
+
+// bumpSeq advances the shard's change sequence for one commit and
+// re-stamps every hot shape index that was maintained through it, so
+// incremental maintenance survives the sequence check instead of forcing a
+// rebuild. An index whose stamp already lagged stays stale.
+//
+// lint:holds mu
+func (sh *shard) bumpSeq() {
+	seq := sh.seq.Add(1)
+	if sh.sec.hot.Load() == 0 {
+		return
+	}
+	for a := 2; a <= maxFieldArity; a++ {
+		for pos := 1; pos < a; pos++ {
+			st := &sh.sec.shapes[a][pos]
+			if st.state.Load() != shapeHot {
+				continue
+			}
+			if idx := st.idx.Load(); idx != nil && idx.seq == seq-1 {
+				idx.seq = seq
+			}
+		}
+	}
+}
+
+// ScanFields implements pattern.FieldSource over the live index: per
+// footprint shard it serves the most selective promoted bucket among sels,
+// falling back to the arity scan (charging every selector's shape toward
+// promotion) when none is hot. Delivery is a superset of the tuples
+// matching sels — the matcher re-verifies — and never includes tuples
+// outside the reader's locked shards.
+func (r reader) ScanFields(arity int, sels []pattern.FieldSel, fn func(tuple.ID, tuple.Tuple) bool) {
+	var indexed, fallback, visited uint64
+	r.ss.forEach(func(si uint32) bool {
+		sh := r.s.shards[si]
+		if len(sh.byArity[arity]) == 0 {
+			return true
+		}
+		bucket, ok := r.s.fieldBucket(sh, arity, sels)
+		if ok {
+			indexed++
+			for id := range bucket {
+				visited++
+				if !fn(id, sh.entries[id].t) {
+					return false
+				}
+			}
+			return true
+		}
+		fallback++
+		r.s.countFieldShapes(sh, arity, sels)
+		for id := range sh.byArity[arity] {
+			visited++
+			if !fn(id, sh.entries[id].t) {
+				return false
+			}
+		}
+		return true
+	})
+	r.s.metrics.AddFieldScans(indexed, fallback, visited)
+}
+
+// --- join-cost estimation (pattern.Estimator) ---
+
+// estimator exposes the live index's cardinalities to the join planner.
+// It is reachable only through JoinEstimator, which gates it on the
+// secondary layer being enabled — the ablated store plans with the legacy
+// boundness heuristic. Methods run under the same locks as Scan.
+type estimator struct{ r reader }
+
+// JoinEstimator implements pattern.EstimatorProvider.
+func (r reader) JoinEstimator() pattern.Estimator {
+	if !r.s.secondary {
+		return nil
+	}
+	return estimator{r}
+}
+
+func (e estimator) ArityEstimate(arity int) float64 {
+	n := 0
+	e.r.ss.forEach(func(si uint32) bool {
+		n += len(e.r.s.shards[si].byArity[arity])
+		return true
+	})
+	return float64(n)
+}
+
+func (e estimator) LeadEstimate(arity int) float64 {
+	n, buckets := 0, 0
+	e.r.ss.forEach(func(si uint32) bool {
+		sh := e.r.s.shards[si]
+		n += len(sh.byArity[arity])
+		buckets += sh.leadBuckets[arity]
+		return true
+	})
+	if buckets == 0 {
+		return 0
+	}
+	return float64(n) / float64(buckets)
+}
+
+func (e estimator) LeadValueEstimate(arity int, lead tuple.Value) float64 {
+	k := indexKey{arity: arity, lead: canonLead(lead)}
+	si := e.r.s.shardIndex(k)
+	if !e.r.ss.has(si) {
+		return 0
+	}
+	return float64(len(e.r.s.shards[si].byLead[k]))
+}
+
+func (e estimator) FieldEstimate(arity, pos int) float64 {
+	total := 0.0
+	e.r.ss.forEach(func(si uint32) bool {
+		sh := e.r.s.shards[si]
+		n := len(sh.byArity[arity])
+		if n == 0 {
+			return true
+		}
+		st := sh.secShape(arity, pos)
+		if st != nil && st.state.Load() == shapeHot {
+			if idx := st.idx.Load(); idx != nil && len(idx.buckets) > 0 {
+				total += float64(n) / float64(len(idx.buckets))
+				return true
+			}
+		}
+		total += float64(n) // unpromoted (or unbuilt): honest full-scan cost
+		return true
+	})
+	return total
+}
+
+func (e estimator) FieldValueEstimate(arity, pos int, val tuple.Value) float64 {
+	total := 0.0
+	e.r.ss.forEach(func(si uint32) bool {
+		sh := e.r.s.shards[si]
+		n := len(sh.byArity[arity])
+		if n == 0 {
+			return true
+		}
+		st := sh.secShape(arity, pos)
+		if st != nil && st.state.Load() == shapeHot {
+			total += float64(len(sh.shapeIndex(st, arity, pos).buckets[canonLead(val)]))
+			return true
+		}
+		total += float64(n)
+		return true
+	})
+	return total
+}
+
+// --- keyWriter overlay ---
+
+// ScanFields mirrors the keyWriter's Scan overlay for the field access
+// path: live results minus this transaction's buffered deletes, plus its
+// buffered inserts of the arity (a superset of the sels match — the
+// matcher re-verifies, and sels must not be re-read after delivery
+// starts).
+func (kw *keyWriter) ScanFields(arity int, sels []pattern.FieldSel, fn func(tuple.ID, tuple.Tuple) bool) {
+	stopped := false
+	kw.live().ScanFields(arity, sels, func(id tuple.ID, t tuple.Tuple) bool {
+		if kw.isDeleted(id) {
+			return true
+		}
+		if !fn(id, t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for _, ins := range kw.inserted {
+		if ins.Tuple.Arity() != arity {
+			continue
+		}
+		if !fn(ins.ID, ins.Tuple) {
+			return
+		}
+	}
+}
+
+// JoinEstimator implements pattern.EstimatorProvider; buffered mutations
+// are few, so the live estimates stand in for the overlay.
+func (kw *keyWriter) JoinEstimator() pattern.Estimator {
+	return kw.live().JoinEstimator()
+}
+
+// --- epoch read path ---
+
+// ScanFields implements pattern.FieldSource over epoch snapshots. A shape
+// materialized in the snapshot (it was hot at build time) serves its
+// bucket — including proving emptiness — and scans against unmaterialized
+// shapes count toward promotion exactly like locked reads, so a read-only
+// workload on the epoch path still promotes.
+func (r epochReader) ScanFields(arity int, sels []pattern.FieldSel, fn func(tuple.ID, tuple.Tuple) bool) {
+	var indexed, fallback, visited uint64
+	r.ss.forEach(func(si uint32) bool {
+		snap := r.snaps[si]
+		if len(snap.byArity[arity]) == 0 {
+			return true
+		}
+		var (
+			best []Instance
+			ok   bool
+		)
+		if arity >= 2 && arity <= maxFieldArity {
+			for _, sel := range sels {
+				if sel.Pos < 1 || sel.Pos >= arity || snap.fieldShapes[arity]&(1<<sel.Pos) == 0 {
+					continue
+				}
+				b := snap.byField[fieldKey{arity: arity, pos: sel.Pos, val: canonLead(sel.Val)}]
+				if !ok || len(b) < len(best) {
+					best, ok = b, true
+				}
+			}
+		}
+		if ok {
+			indexed++
+			for _, inst := range best {
+				visited++
+				if !fn(inst.ID, inst.Tuple) {
+					return false
+				}
+			}
+			return true
+		}
+		fallback++
+		r.s.countFieldShapes(r.s.shards[si], arity, sels)
+		for _, inst := range snap.byArity[arity] {
+			visited++
+			if !fn(inst.ID, inst.Tuple) {
+				return false
+			}
+		}
+		return true
+	})
+	r.s.metrics.AddFieldScans(indexed, fallback, visited)
+}
+
+// Interface conformance for every reader flavor (writer embeds reader).
+var (
+	_ pattern.FieldSource       = reader{}
+	_ pattern.FieldSource       = (*keyWriter)(nil)
+	_ pattern.FieldSource       = epochReader{}
+	_ pattern.EstimatorProvider = reader{}
+	_ pattern.EstimatorProvider = (*keyWriter)(nil)
+)

@@ -172,6 +172,14 @@ type shard struct {
 	byArity map[int]map[tuple.ID]struct{}
 	byLead  map[indexKey]map[tuple.ID]struct{}
 
+	// leadBuckets counts the live byLead buckets per arity (maintained by
+	// indexAdd/indexRemove) so the join planner's mean-bucket estimate is
+	// O(1) instead of an index walk.
+	leadBuckets map[int]int
+
+	// sec is the adaptive secondary field-index layer (secondary.go).
+	sec secondaryState
+
 	asserts  uint64
 	retracts uint64
 
@@ -197,6 +205,7 @@ type Store struct {
 
 	commuting bool // key-level locking + group commit enabled
 	reactive  bool // delta-driven wakeups for delayed transactions enabled
+	secondary bool // adaptive secondary field indexes + selectivity planning enabled
 
 	metrics *metrics.Registry
 	sc      *sched.Controller // nil unless schedule exploration is on
@@ -214,6 +223,7 @@ type storeConfig struct {
 	sc          *sched.Controller
 	noCommuting bool
 	noReactive  bool
+	noSecondary bool
 }
 
 // WithShards sets the shard count. Values are rounded up to a power of two
@@ -246,6 +256,15 @@ func WithCommuting(on bool) Option {
 // Subscribe either way.
 func WithReactive(on bool) Option {
 	return func(c *storeConfig) { c.noReactive = !on }
+}
+
+// WithSecondaryIndex enables or disables adaptive secondary field indexes
+// and the selectivity-guided join planner they feed (on by default).
+// Disabling it degrades every non-lead constrained scan to the full arity
+// walk and the planner to the boundness heuristic — the E17 ablation
+// baseline.
+func WithSecondaryIndex(on bool) Option {
+	return func(c *storeConfig) { c.noSecondary = !on }
 }
 
 func defaultShardCount() int {
@@ -311,15 +330,19 @@ func New(opts ...Option) *Store {
 		mask:      uint32(n - 1),
 		commuting: !cfg.noCommuting,
 		reactive:  !cfg.noReactive,
+		secondary: !cfg.noSecondary,
 		metrics:   metrics.NewRegistry(n),
 		sc:        cfg.sc,
 	}
 	for i := range s.shards {
 		s.shards[i] = &shard{
-			entries: make(map[tuple.ID]entry),
-			byArity: make(map[int]map[tuple.ID]struct{}),
-			byLead:  make(map[indexKey]map[tuple.ID]struct{}),
+			entries:     make(map[tuple.ID]entry),
+			byArity:     make(map[int]map[tuple.ID]struct{}),
+			byLead:      make(map[indexKey]map[tuple.ID]struct{}),
+			leadBuckets: make(map[int]int),
 		}
+		s.shards[i].sec.enabled = s.secondary
+		s.shards[i].sec.met = s.metrics
 		s.all.add(uint32(i))
 	}
 	return s
@@ -331,6 +354,10 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // Reactive reports whether delta-driven wakeups are enabled (the delayed
 // engine consults this to pick its blocking path).
 func (s *Store) Reactive() bool { return s.reactive }
+
+// SecondaryIndex reports whether adaptive secondary field indexes are
+// enabled.
+func (s *Store) SecondaryIndex() bool { return s.secondary }
 
 // Metrics returns the store's metrics registry. The registry is shared by
 // every component layered over the store (transaction engine, consensus
@@ -638,20 +665,23 @@ func (s *Store) updateSet(ss shardSet, owner tuple.ProcessID, coarse bool, fn fu
 }
 
 // bumpSeqs advances the change sequence of every shard the commit wrote,
-// once per shard, invalidating cached epoch snapshots. Callers hold the
-// written shards' mu locks.
+// once per shard, invalidating cached epoch snapshots (and re-stamping
+// maintained field indexes — see shard.bumpSeq). Callers hold the written
+// shards' mu locks.
+//
+// lint:holds mu
 func (s *Store) bumpSeqs(insShard, delShard []uint32) {
 	var touched shardSet
 	for _, si := range insShard {
 		if !touched.has(si) {
 			touched.add(si)
-			s.shards[si].seq.Add(1)
+			s.shards[si].bumpSeq()
 		}
 	}
 	for _, si := range delShard {
 		if !touched.has(si) {
 			touched.add(si)
-			s.shards[si].seq.Add(1)
+			s.shards[si].bumpSeq()
 		}
 	}
 }
@@ -906,8 +936,9 @@ func (w *writer) rollback() {
 	}
 }
 
-// indexAdd maintains the arity and lead indexes for one insert; every
-// caller holds the shard's exclusive mu.
+// indexAdd maintains the arity, lead, and secondary field indexes (plus
+// the lead-bucket cardinality counters) for one insert; every caller holds
+// the shard's exclusive mu.
 //
 // lint:holds mu
 func (sh *shard) indexAdd(id tuple.ID, t tuple.Tuple) {
@@ -924,13 +955,16 @@ func (sh *shard) indexAdd(id tuple.ID, t tuple.Tuple) {
 		if byL == nil {
 			byL = make(map[tuple.ID]struct{})
 			sh.byLead[k] = byL
+			sh.leadBuckets[a]++
 		}
 		byL[id] = struct{}{}
 	}
+	sh.secAdd(id, t)
 }
 
-// indexRemove maintains the arity and lead indexes for one delete; every
-// caller holds the shard's exclusive mu.
+// indexRemove maintains the arity, lead, and secondary field indexes (plus
+// the lead-bucket cardinality counters) for one delete; every caller holds
+// the shard's exclusive mu.
 //
 // lint:holds mu
 func (sh *shard) indexRemove(id tuple.ID, t tuple.Tuple) {
@@ -947,7 +981,11 @@ func (sh *shard) indexRemove(id tuple.ID, t tuple.Tuple) {
 			delete(byL, id)
 			if len(byL) == 0 {
 				delete(sh.byLead, k)
+				if sh.leadBuckets[a]--; sh.leadBuckets[a] == 0 {
+					delete(sh.leadBuckets, a)
+				}
 			}
 		}
 	}
+	sh.secRemove(id, t)
 }

@@ -218,6 +218,13 @@ type Registry struct {
 	reactiveHits       Counter // of those, driven by a concrete delta batch
 	reactiveFallbacks  Counter // of those, full re-queries (not delta-safe, or overflow/spurious)
 
+	idxPromotions Counter // secondary-index shape promotions (cold -> hot)
+	idxDemotions  Counter // secondary-index shape demotions (write-heavy)
+	idxFieldScans Counter // non-lead field scans (every ScanFields shard visit)
+	idxScans      Counter // of those, served by a promoted field index
+	idxArityScans Counter // of those, served by the full arity-scan fallback
+	idxTuples     Counter // tuple candidates delivered by field scans
+
 	consensusKicksSuppressed Counter // detector kicks elided by the relevance filter
 
 	consensusRounds    Counter    // detector evaluation rounds
@@ -367,6 +374,33 @@ func (r *Registry) IncReactiveHit() { r.reactiveHits.Add(1) }
 // re-query (guard not delta-safe, broad/spurious wakeup, or empty batch).
 func (r *Registry) IncReactiveFallback() { r.reactiveFallbacks.Add(1) }
 
+// IncIndexPromotion counts one secondary-index shape promotion.
+func (r *Registry) IncIndexPromotion() { r.idxPromotions.Add(1) }
+
+// IncIndexDemotion counts one secondary-index shape demotion.
+func (r *Registry) IncIndexDemotion() { r.idxDemotions.Add(1) }
+
+// AddFieldScans records one batch of non-lead field scans: indexed scans
+// served by a promoted field index, arity scans that fell back to the full
+// per-shard arity walk, and the tuple candidates the batch delivered.
+// Every field scan is exactly one of indexed / arity — the audited-ladder
+// invariant mirroring the commit-path counters.
+func (r *Registry) AddFieldScans(indexed, arity, visited uint64) {
+	if indexed+arity == 0 {
+		return
+	}
+	r.idxFieldScans.Add(indexed + arity)
+	if indexed > 0 {
+		r.idxScans.Add(indexed)
+	}
+	if arity > 0 {
+		r.idxArityScans.Add(arity)
+	}
+	if visited > 0 {
+		r.idxTuples.Add(visited)
+	}
+}
+
 // IncConsensusKickSuppressed counts one commit whose invalidation was
 // recorded without kicking the detector: its buckets were provably outside
 // every registered offer's import relevance.
@@ -493,21 +527,28 @@ type Snapshot struct {
 	ReactiveFallbacks        uint64 `json:"reactiveFallbacks"`        // of those, full re-queries
 	ConsensusKicksSuppressed uint64 `json:"consensusKicksSuppressed"` // detector kicks elided by relevance filtering
 
+	SecondaryPromotions    uint64 `json:"secondaryPromotions"`    // field-index shape promotions (cold -> hot)
+	SecondaryDemotions     uint64 `json:"secondaryDemotions"`     // field-index shape demotions (write-heavy)
+	SecondaryFieldScans    uint64 `json:"secondaryFieldScans"`    // non-lead field scans, any access path
+	SecondaryIndexedScans  uint64 `json:"secondaryIndexedScans"`  // of those, served by a promoted field index
+	SecondaryArityScans    uint64 `json:"secondaryArityScans"`    // of those, full per-shard arity walks
+	SecondaryTuplesVisited uint64 `json:"secondaryTuplesVisited"` // tuple candidates delivered by field scans
+
 	ConsensusRounds    uint64            `json:"consensusRounds"`
 	ConsensusCommunity HistogramSnapshot `json:"consensusCommunity"`
 
 	CheckpointWrite HistogramSnapshot `json:"checkpointWriteNs"`
 	CheckpointRead  HistogramSnapshot `json:"checkpointReadNs"`
 
-	WalAppends      uint64            `json:"walAppends"`      // commit records appended to the WAL
-	WalAppendBytes  uint64            `json:"walAppendBytes"`  // frame bytes appended
-	WalSyncs        uint64            `json:"walSyncs"`        // fsync calls
-	WalSyncCover    HistogramSnapshot `json:"walSyncCover"`    // records durable per fsync
-	WalSegments     uint64            `json:"walSegments"`     // segment rotations
-	WalRecovered    uint64            `json:"walRecovered"`    // records replayed during recovery
-	WalDiscarded    uint64            `json:"walDiscarded"`    // records discarded during recovery
-	WalRecoveries   uint64            `json:"walRecoveries"`   // completed recoveries
-	WalRecoveryTime HistogramSnapshot `json:"walRecoveryNs"`   // ns per recovery
+	WalAppends      uint64            `json:"walAppends"`     // commit records appended to the WAL
+	WalAppendBytes  uint64            `json:"walAppendBytes"` // frame bytes appended
+	WalSyncs        uint64            `json:"walSyncs"`       // fsync calls
+	WalSyncCover    HistogramSnapshot `json:"walSyncCover"`   // records durable per fsync
+	WalSegments     uint64            `json:"walSegments"`    // segment rotations
+	WalRecovered    uint64            `json:"walRecovered"`   // records replayed during recovery
+	WalDiscarded    uint64            `json:"walDiscarded"`   // records discarded during recovery
+	WalRecoveries   uint64            `json:"walRecoveries"`  // completed recoveries
+	WalRecoveryTime HistogramSnapshot `json:"walRecoveryNs"`  // ns per recovery
 }
 
 // TotalAttempts sums transaction attempts across kinds.
@@ -549,23 +590,23 @@ func (s Snapshot) KeyLockTotal() uint64 {
 // Snapshot copies every instrument.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Observed:           r.observed.Load(),
-		Shards:             make([]ShardCounters, len(r.shards)),
-		StoreCommits:       r.commits.Value(),
-		KeyCommits:         r.keyCommits.Value(),
-		ShardFallbacks:     r.shardFallbacks.Value(),
-		CoarseCommits:      r.coarseCommits.Value(),
-		GroupBatch:         r.groupBatch.snapshot(),
-		EpochReads:         r.epochReads.Value(),
-		EpochRebuilds:      r.epochRebuilds.Value(),
-		EpochFallbacks:     r.epochFallbacks.Value(),
-		Txn:                make(map[string]TxnCounters, int(numTxnKinds)),
-		TxnLatency:         make(map[string]HistogramSnapshot, int(numTxnKinds)),
-		FootprintAdmissions: make(map[string]uint64, FootprintClasses),
-		FootprintPlanned:    make(map[string]uint64, FootprintClasses),
-		Footprint:          r.footprint.snapshot(),
-		WakeupFanout:       r.wakeupFanout.snapshot(),
-		WaiterDepth:        r.waiterDepth.Value(),
+		Observed:                 r.observed.Load(),
+		Shards:                   make([]ShardCounters, len(r.shards)),
+		StoreCommits:             r.commits.Value(),
+		KeyCommits:               r.keyCommits.Value(),
+		ShardFallbacks:           r.shardFallbacks.Value(),
+		CoarseCommits:            r.coarseCommits.Value(),
+		GroupBatch:               r.groupBatch.snapshot(),
+		EpochReads:               r.epochReads.Value(),
+		EpochRebuilds:            r.epochRebuilds.Value(),
+		EpochFallbacks:           r.epochFallbacks.Value(),
+		Txn:                      make(map[string]TxnCounters, int(numTxnKinds)),
+		TxnLatency:               make(map[string]HistogramSnapshot, int(numTxnKinds)),
+		FootprintAdmissions:      make(map[string]uint64, FootprintClasses),
+		FootprintPlanned:         make(map[string]uint64, FootprintClasses),
+		Footprint:                r.footprint.snapshot(),
+		WakeupFanout:             r.wakeupFanout.snapshot(),
+		WaiterDepth:              r.waiterDepth.Value(),
 		ReactiveSubscriptions:    r.subsLive.Value(),
 		ReactiveSignals:          r.reactiveSignals.Value(),
 		ReactiveSuppressed:       r.reactiveSuppressed.Value(),
@@ -573,19 +614,25 @@ func (r *Registry) Snapshot() Snapshot {
 		ReactiveHits:             r.reactiveHits.Value(),
 		ReactiveFallbacks:        r.reactiveFallbacks.Value(),
 		ConsensusKicksSuppressed: r.consensusKicksSuppressed.Value(),
-		ConsensusRounds:    r.consensusRounds.Value(),
-		ConsensusCommunity: r.consensusCommunity.snapshot(),
-		CheckpointWrite:    r.checkpointWrite.snapshot(),
-		CheckpointRead:     r.checkpointRead.snapshot(),
-		WalAppends:         r.walAppends.Value(),
-		WalAppendBytes:     r.walAppendBytes.Value(),
-		WalSyncs:           r.walSyncs.Value(),
-		WalSyncCover:       r.walSyncCover.snapshot(),
-		WalSegments:        r.walSegments.Value(),
-		WalRecovered:       r.walRecovered.Value(),
-		WalDiscarded:       r.walDiscarded.Value(),
-		WalRecoveries:      r.walRecoveries.Value(),
-		WalRecoveryTime:    r.walRecoveryTime.snapshot(),
+		SecondaryPromotions:      r.idxPromotions.Value(),
+		SecondaryDemotions:       r.idxDemotions.Value(),
+		SecondaryFieldScans:      r.idxFieldScans.Value(),
+		SecondaryIndexedScans:    r.idxScans.Value(),
+		SecondaryArityScans:      r.idxArityScans.Value(),
+		SecondaryTuplesVisited:   r.idxTuples.Value(),
+		ConsensusRounds:          r.consensusRounds.Value(),
+		ConsensusCommunity:       r.consensusCommunity.snapshot(),
+		CheckpointWrite:          r.checkpointWrite.snapshot(),
+		CheckpointRead:           r.checkpointRead.snapshot(),
+		WalAppends:               r.walAppends.Value(),
+		WalAppendBytes:           r.walAppendBytes.Value(),
+		WalSyncs:                 r.walSyncs.Value(),
+		WalSyncCover:             r.walSyncCover.snapshot(),
+		WalSegments:              r.walSegments.Value(),
+		WalRecovered:             r.walRecovered.Value(),
+		WalDiscarded:             r.walDiscarded.Value(),
+		WalRecoveries:            r.walRecoveries.Value(),
+		WalRecoveryTime:          r.walRecoveryTime.snapshot(),
 	}
 	for i := 0; i < FootprintClasses; i++ {
 		s.FootprintAdmissions[footprintClassNames[i]] = r.footprintAdmit[i].v.Load()

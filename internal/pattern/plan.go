@@ -1,10 +1,21 @@
 package pattern
 
-import "github.com/sdl-lang/sdl/internal/expr"
+import (
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
 
-// planJoinOrder greedily reorders the positive patterns of a query by
-// boundness. At each step it places, among the *eligible* remaining
-// patterns, the one with the best score:
+// planJoinOrder greedily reorders the positive patterns of a query. At
+// each step it places, among the *eligible* remaining patterns, the one
+// with the lowest estimated scan cost.
+//
+// When the source exposes an Estimator, cost is the estimated number of
+// tuple candidates the pattern's scan would visit given the bindings
+// accumulated so far: the concrete (arity, lead) bucket size when the
+// lead value is known at plan time, the mean lead-bucket size when the
+// lead is bound by an earlier pattern, the best promoted field-index
+// bucket when only non-lead fields are constrained, and the full arity
+// count otherwise. Otherwise it falls back to the boundness heuristic:
 //
 //	2 — the leading field is determined by the bindings so far (the scan
 //	    hits one index bucket);
@@ -22,10 +33,11 @@ import "github.com/sdl-lang/sdl/internal/expr"
 // (reproducing the written-order behavior, including its errors).
 //
 // Ties break toward written order, keeping plans deterministic.
-func planJoinOrder(q Query, positives []int, base expr.Env) []int {
+func planJoinOrder(q Query, positives []int, base expr.Env, src Source) []int {
 	if len(positives) <= 1 {
 		return positives
 	}
+	est := sourceEstimator(src)
 	bound := make(map[string]bool, len(base))
 	for name := range base {
 		bound[name] = true
@@ -98,25 +110,93 @@ func planJoinOrder(q Query, positives []int, base expr.Env) []int {
 		return false
 	}
 
+	// planValue resolves a field's concrete value at plan time: constants,
+	// variables carried by the base environment, and closed expressions
+	// over them. Variables bound by earlier-planned patterns are known at
+	// run time but have no plan-time value.
+	planValue := func(f Field) (tuple.Value, bool) {
+		switch f.Kind {
+		case FieldConst:
+			return f.Value, true
+		case FieldVar:
+			v, ok := base[f.Name]
+			return v, ok
+		case FieldExpr:
+			for _, v := range f.Expr.Vars(nil) {
+				if _, ok := base[v]; !ok {
+					return tuple.Value{}, false
+				}
+			}
+			v, err := f.Expr.Eval(base)
+			return v, err == nil
+		default:
+			return tuple.Value{}, false
+		}
+	}
+	// scanCost estimates the candidates the pattern's scan visits under
+	// the bindings so far, mirroring the matcher's access-path selection:
+	// lead bucket when the lead is (or will be) known, else the best
+	// evaluable field selector, else the full arity scan.
+	scanCost := func(pi int) float64 {
+		p := q.Patterns[pi]
+		arity := p.Arity()
+		if leadKnown(pi) {
+			if v, ok := planValue(p.Fields[0]); ok {
+				return est.LeadValueEstimate(arity, v)
+			}
+			return est.LeadEstimate(arity)
+		}
+		best := est.ArityEstimate(arity)
+		for i := 1; i < len(p.Fields); i++ {
+			f := p.Fields[i]
+			var c float64
+			if v, ok := planValue(f); ok {
+				c = est.FieldValueEstimate(arity, i, v)
+			} else if f.Kind == FieldVar && bound[f.Name] {
+				c = est.FieldEstimate(arity, i)
+			} else {
+				continue
+			}
+			if c < best {
+				best = c
+			}
+		}
+		return best
+	}
+
 	out := make([]int, 0, len(positives))
 	remaining := append([]int(nil), positives...)
 	for len(remaining) > 0 {
 		bestIdx := -1
-		bestScore := -1
-		for ri, pi := range remaining {
-			if !exprVarsBound(pi) || !guardVarsBound(pi) {
-				continue
+		if est != nil {
+			bestCost := 0.0
+			for ri, pi := range remaining {
+				if !exprVarsBound(pi) || !guardVarsBound(pi) {
+					continue
+				}
+				c := scanCost(pi)
+				if bestIdx < 0 || c < bestCost {
+					bestCost = c
+					bestIdx = ri
+				}
 			}
-			score := 0
-			if sharesVar(pi) {
-				score = 1
-			}
-			if leadKnown(pi) {
-				score = 2
-			}
-			if score > bestScore {
-				bestScore = score
-				bestIdx = ri
+		} else {
+			bestScore := -1
+			for ri, pi := range remaining {
+				if !exprVarsBound(pi) || !guardVarsBound(pi) {
+					continue
+				}
+				score := 0
+				if sharesVar(pi) {
+					score = 1
+				}
+				if leadKnown(pi) {
+					score = 2
+				}
+				if score > bestScore {
+					bestScore = score
+					bestIdx = ri
+				}
 			}
 		}
 		if bestIdx < 0 {

@@ -171,20 +171,39 @@ func Enumerate(q Query, src Source, base expr.Env, fn func(Binding) bool) error 
 		base = expr.Env{}
 	}
 	if q.Plan == PlanAuto {
-		positives = planJoinOrder(q, positives, base)
+		positives = planJoinOrder(q, positives, base, src)
 	}
 
+	// The join mutates one environment in place, recording newly bound
+	// variables on a trail and deleting them when backtracking; the
+	// environment is cloned only when a solution escapes to fn. This keeps
+	// the candidate loop allocation-free (MatchInto would clone per
+	// binding candidate).
+	env := make(expr.Env, len(base)+8)
+	for k, v := range base {
+		env[k] = v
+	}
+	fsrc, hasFields := src.(FieldSource)
+	// selsBuf holds per-depth FieldSel buffers, reused across candidates.
+	// It is allocated on the first unknown-lead pattern that can use a
+	// selective scan, so lead-keyed queries never pay for it.
+	var selsBuf [][]FieldSel
+	nslots := len(positives) + len(negatives)
+
 	matched := make([]Match, 0, len(positives))
-	var walkErr error
+	var (
+		trail   []string
+		walkErr error
+	)
 	stopped := false
 
-	var walk func(k int, env expr.Env)
-	walk = func(k int, env expr.Env) {
+	var walk func(k int)
+	walk = func(k int) {
 		if stopped || walkErr != nil {
 			return
 		}
 		if k == len(positives) {
-			ok, err := checkSolution(q, negatives, src, env)
+			ok, err := checkSolution(q, negatives, src, fsrc, &selsBuf, nslots, env, &trail)
 			if err != nil {
 				walkErr = err
 				return
@@ -195,39 +214,120 @@ func Enumerate(q Query, src Source, base expr.Env, fn func(Binding) bool) error 
 			sol := Binding{Env: env, Matched: make([]Match, len(matched))}
 			copy(sol.Matched, matched)
 			if !fn(sol) {
+				// env escaped inside sol; stopped suppresses the
+				// unwinding undos so the handed-off bindings stay intact.
 				stopped = true
+				return
 			}
+			// fn kept a live reference but wants more solutions: continue
+			// the join on a private copy. The copy carries the same
+			// bindings, so the outer frames' trail undos still resolve.
+			env = env.Clone()
 			return
 		}
 		pi := positives[k]
 		p := q.Patterns[pi]
 		lead, known := p.Lead(env)
-		src.Scan(p.Arity(), lead, known, func(id tuple.ID, t tuple.Tuple) bool {
+		deliver := func(id tuple.ID, t tuple.Tuple) bool {
 			if p.Retract && retractedAlready(matched, id) {
 				return true // distinctness for retract tags
 			}
-			env2, ok := p.MatchInto(t, env)
+			mark := len(trail)
+			var ok bool
+			trail, ok = matchTrail(p, t, env, trail)
 			if !ok {
 				return true
 			}
+			undo := func() {
+				if stopped {
+					return // env escaped with the final solution
+				}
+				for _, name := range trail[mark:] {
+					delete(env, name)
+				}
+				trail = trail[:mark]
+			}
 			if p.Guard != nil {
-				pass, err := expr.EvalBool(p.Guard, env2)
+				pass, err := expr.EvalBool(p.Guard, env)
 				if err != nil {
 					walkErr = fmt.Errorf("pattern: guard: %w", err)
+					undo()
 					return false
 				}
 				if !pass {
+					undo()
 					return true
 				}
 			}
 			matched = append(matched, Match{PatternIndex: pi, ID: id, Tuple: t, Retract: p.Retract})
-			walk(k+1, env2)
+			walk(k + 1)
 			matched = matched[:len(matched)-1]
+			undo()
 			return !stopped && walkErr == nil
-		})
+		}
+		if !known && hasFields {
+			if selsBuf == nil {
+				selsBuf = make([][]FieldSel, nslots)
+			}
+			sels := appendFieldSels(p, env, selsBuf[k][:0])
+			selsBuf[k] = sels
+			if len(sels) > 0 {
+				fsrc.ScanFields(p.Arity(), sels, deliver)
+				return
+			}
+		}
+		src.Scan(p.Arity(), lead, known, deliver)
 	}
-	walk(0, base)
+	walk(0)
 	return walkErr
+}
+
+// matchTrail matches p against t by extending env in place, appending each
+// newly bound variable to trail. On failure the partial bindings are
+// removed and the original trail returned; the caller undoes successful
+// binds when backtracking. This is MatchInto without the defensive clone.
+func matchTrail(p Pattern, t tuple.Tuple, env expr.Env, trail []string) ([]string, bool) {
+	if t.Arity() != len(p.Fields) {
+		return trail, false
+	}
+	mark := len(trail)
+	undo := func() []string {
+		for _, name := range trail[mark:] {
+			delete(env, name)
+		}
+		return trail[:mark]
+	}
+	for i, f := range p.Fields {
+		fv := t.Field(i)
+		switch f.Kind {
+		case FieldWildcard:
+			// matches anything
+		case FieldConst:
+			if !f.Value.Equal(fv) {
+				return undo(), false
+			}
+		case FieldVar:
+			if bound, ok := env[f.Name]; ok {
+				if !bound.Equal(fv) {
+					return undo(), false
+				}
+			} else {
+				env[f.Name] = fv
+				trail = append(trail, f.Name)
+			}
+		case FieldExpr:
+			want, err := f.Expr.Eval(env)
+			if err != nil {
+				return undo(), false
+			}
+			if !want.Equal(fv) {
+				return undo(), false
+			}
+		default:
+			return undo(), false
+		}
+	}
+	return trail, true
 }
 
 func retractedAlready(matched []Match, id tuple.ID) bool {
@@ -240,8 +340,11 @@ func retractedAlready(matched []Match, id tuple.ID) bool {
 }
 
 // checkSolution evaluates the test query and the negated patterns under the
-// candidate environment.
-func checkSolution(q Query, negatives []int, src Source, env expr.Env) (bool, error) {
+// candidate environment. Negated patterns bind via the same trail as the
+// join (undone before returning); the last len(negatives) slots of the
+// lazily allocated nslots-wide selsBuf hold their reusable FieldSel
+// buffers.
+func checkSolution(q Query, negatives []int, src Source, fsrc FieldSource, selsBuf *[][]FieldSel, nslots int, env expr.Env, trail *[]string) (bool, error) {
 	ok, err := expr.EvalBool(q.Test, env)
 	if err != nil {
 		return false, fmt.Errorf("pattern: test query: %w", err)
@@ -249,18 +352,27 @@ func checkSolution(q Query, negatives []int, src Source, env expr.Env) (bool, er
 	if !ok {
 		return false, nil
 	}
-	for _, ni := range negatives {
+	for nk, ni := range negatives {
 		p := q.Patterns[ni]
 		lead, known := p.Lead(env)
 		found := false
 		var guardErr error
-		src.Scan(p.Arity(), lead, known, func(_ tuple.ID, t tuple.Tuple) bool {
-			env2, m := p.MatchInto(t, env)
+		deliver := func(_ tuple.ID, t tuple.Tuple) bool {
+			mark := len(*trail)
+			var m bool
+			*trail, m = matchTrail(p, t, env, *trail)
 			if !m {
 				return true
 			}
+			undo := func() {
+				for _, name := range (*trail)[mark:] {
+					delete(env, name)
+				}
+				*trail = (*trail)[:mark]
+			}
 			if p.Guard != nil {
-				pass, err := expr.EvalBool(p.Guard, env2)
+				pass, err := expr.EvalBool(p.Guard, env)
+				undo()
 				if err != nil {
 					guardErr = err
 					return false
@@ -268,10 +380,31 @@ func checkSolution(q Query, negatives []int, src Source, env expr.Env) (bool, er
 				if !pass {
 					return true // guarded out: does not count as a violation
 				}
+			} else {
+				undo()
 			}
 			found = true
 			return false
-		})
+		}
+		if !known && fsrc != nil {
+			if *selsBuf == nil {
+				*selsBuf = make([][]FieldSel, nslots)
+			}
+			bi := nslots - len(negatives) + nk
+			sels := appendFieldSels(p, env, (*selsBuf)[bi][:0])
+			(*selsBuf)[bi] = sels
+			if len(sels) > 0 {
+				fsrc.ScanFields(p.Arity(), sels, deliver)
+				if guardErr != nil {
+					return false, fmt.Errorf("pattern: negation guard: %w", guardErr)
+				}
+				if found {
+					return false, nil
+				}
+				continue
+			}
+		}
+		src.Scan(p.Arity(), lead, known, deliver)
 		if guardErr != nil {
 			return false, fmt.Errorf("pattern: negation guard: %w", guardErr)
 		}

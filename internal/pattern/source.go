@@ -1,0 +1,100 @@
+package pattern
+
+import (
+	"github.com/sdl-lang/sdl/internal/expr"
+	"github.com/sdl-lang/sdl/internal/tuple"
+)
+
+// FieldSel is one concrete non-lead field constraint of a pattern: the
+// matched tuple must carry Val at position Pos. The matcher hands every
+// selector it can evaluate to the source, which picks the most selective
+// indexed access path among them (or none).
+type FieldSel struct {
+	Pos int         // field position, >= 1 (position 0 is the lead)
+	Val tuple.Value // concrete value the tuple must carry at Pos
+}
+
+// FieldSource is a Source with a secondary field-index access path for
+// patterns whose leading field is unknown. The dataspace readers implement
+// it; sources without field indexes simply don't, and the matcher falls
+// back to the arity scan.
+type FieldSource interface {
+	Source
+	// ScanFields calls fn for tuple instances with the given arity,
+	// consulting the source's secondary field indexes: among sels it may
+	// pick any one selector whose (arity, pos, value) bucket is promoted
+	// and deliver only that bucket, falling back to the full arity scan
+	// otherwise. Delivery is a superset of the tuples satisfying all sels
+	// (the matcher re-verifies every field) and a subset of the full arity
+	// scan. Iteration stops when fn returns false. sels is non-empty and
+	// must not be retained or re-read after the first fn call: the
+	// matcher reuses the backing array across patterns.
+	ScanFields(arity int, sels []FieldSel, fn func(id tuple.ID, t tuple.Tuple) bool)
+}
+
+// Estimator exposes a source's cardinality statistics so planJoinOrder can
+// order patterns by estimated candidates visited instead of the boundness
+// heuristic. Every method returns an estimate of the tuple instances a
+// scan through the corresponding access path would deliver; estimates may
+// be stale or approximate — they steer the join order, never correctness.
+// Callers hold whatever locks Scan itself requires.
+type Estimator interface {
+	// ArityEstimate is the cost of a full arity scan: the live instance
+	// count at the given arity.
+	ArityEstimate(arity int) float64
+	// LeadEstimate is the cost of a lead-indexed scan whose lead value is
+	// bound only at run time: the mean (arity, lead) bucket size.
+	LeadEstimate(arity int) float64
+	// LeadValueEstimate is the cost of a lead-indexed scan on a concrete
+	// value: the size of that (arity, lead) bucket.
+	LeadValueEstimate(arity int, lead tuple.Value) float64
+	// FieldEstimate is the cost of a field scan on (arity, pos) whose
+	// value is bound only at run time: the mean field bucket size when the
+	// shape is promoted, or the full arity count when it is not.
+	FieldEstimate(arity, pos int) float64
+	// FieldValueEstimate is the cost of a field scan on a concrete
+	// (arity, pos, val): that bucket's size when the shape is promoted, or
+	// the full arity count when it is not.
+	FieldValueEstimate(arity, pos int, val tuple.Value) float64
+}
+
+// EstimatorProvider lets a wrapping source (e.g. a view window) expose the
+// estimator of the source it wraps without implementing Estimator itself.
+type EstimatorProvider interface {
+	JoinEstimator() Estimator
+}
+
+// sourceEstimator resolves the estimator a source exposes, directly or via
+// EstimatorProvider; nil when it has none.
+func sourceEstimator(src Source) Estimator {
+	switch s := src.(type) {
+	case Estimator:
+		return s
+	case EstimatorProvider:
+		return s.JoinEstimator()
+	default:
+		return nil
+	}
+}
+
+// appendFieldSels collects the concrete non-lead field constraints of p
+// under env — every position whose required value the matcher already
+// knows — appending to dst. Unevaluable computed fields are skipped (they
+// fail candidates during the match instead).
+func appendFieldSels(p Pattern, env expr.Env, dst []FieldSel) []FieldSel {
+	for i := 1; i < len(p.Fields); i++ {
+		switch f := p.Fields[i]; f.Kind {
+		case FieldConst:
+			dst = append(dst, FieldSel{Pos: i, Val: f.Value})
+		case FieldVar:
+			if v, ok := env[f.Name]; ok {
+				dst = append(dst, FieldSel{Pos: i, Val: v})
+			}
+		case FieldExpr:
+			if v, err := f.Expr.Eval(env); err == nil {
+				dst = append(dst, FieldSel{Pos: i, Val: v})
+			}
+		}
+	}
+	return dst
+}

@@ -81,7 +81,7 @@ func (o Options) withDefaults() Options {
 
 // configFor derives the per-seed system configuration. All knobs are pure
 // functions of the seed, so a reported seed reproduces its configuration.
-func configFor(seed uint64, o Options) (shards int, mode txn.Mode, reactive bool) {
+func configFor(seed uint64, o Options) (shards int, mode txn.Mode, reactive, secondary bool) {
 	h := sched.Decide(seed, sched.NumPoints-1, 0x5eed)
 	shards = o.Shards
 	if shards == 0 {
@@ -97,19 +97,21 @@ func configFor(seed uint64, o Options) (shards int, mode txn.Mode, reactive bool
 	}
 	// The reactive delta-wakeup path and its full re-query ablation must
 	// both survive every schedule, so the campaign splits seeds between
-	// them.
+	// them. Same for the secondary-index path and its arity-scan ablation.
 	reactive = h&(1<<17) != 0
-	return shards, mode, reactive
+	secondary = h&(1<<18) != 0
+	return shards, mode, reactive, secondary
 }
 
 // Failure describes one failing (program, seed) pair.
 type Failure struct {
-	Program  string
-	Seed     uint64
-	Shards   int
-	Mode     txn.Mode
-	Reactive bool
-	Err      error
+	Program   string
+	Seed      uint64
+	Shards    int
+	Mode      txn.Mode
+	Reactive  bool
+	Secondary bool
+	Err       error
 	// Decisions is the number of decisions the failing run drew.
 	Decisions int64
 	// MinLimit is the smallest active-decision budget that still fails
@@ -120,7 +122,7 @@ type Failure struct {
 }
 
 func (f Failure) String() string {
-	s := fmt.Sprintf("%s: seed %d (shards=%d mode=%s reactive=%t): %v", f.Program, f.Seed, f.Shards, f.Mode, f.Reactive, f.Err)
+	s := fmt.Sprintf("%s: seed %d (shards=%d mode=%s reactive=%t secondary=%t): %v", f.Program, f.Seed, f.Shards, f.Mode, f.Reactive, f.Secondary, f.Err)
 	if f.MinLimit >= 0 {
 		s += fmt.Sprintf("\n  shrunk to %d active decisions (of %d drawn); replay: sdlexplore -program %s -seed %d -limit %d",
 			f.MinLimit, f.Decisions, f.Program, f.Seed, f.MinLimit)
@@ -157,9 +159,9 @@ func Run(opts Options) Report {
 				continue
 			}
 			failed++
-			shards, mode, reactive := configFor(seed, opts)
+			shards, mode, reactive, secondary := configFor(seed, opts)
 			f := Failure{Program: p.Name, Seed: seed, Shards: shards, Mode: mode,
-				Reactive: reactive, Err: err, Decisions: decisions, MinLimit: -1}
+				Reactive: reactive, Secondary: secondary, Err: err, Decisions: decisions, MinLimit: -1}
 			logf("FAIL %s seed=%d: %v (shrinking...)", p.Name, seed, err)
 			f = Shrink(p, f, opts)
 			rep.Failures = append(rep.Failures, f)
@@ -188,7 +190,7 @@ func RunSeed(p Program, seed uint64, limit int64, opts Options) (int64, error) {
 // runOnce assembles a fresh system under a seed-deterministic controller,
 // runs the program, and verifies the run.
 func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (int64, []sched.Decision, error) {
-	shards, mode, reactive := configFor(seed, opts)
+	shards, mode, reactive, secondary := configFor(seed, opts)
 	c := sched.New(seed, opts.Faults)
 	if limit >= 0 {
 		c.SetLimit(limit)
@@ -197,7 +199,7 @@ func runOnce(p Program, seed uint64, limit int64, traced bool, opts Options) (in
 		c.EnableTrace(0)
 	}
 	store := dataspace.New(dataspace.WithShards(shards), dataspace.WithScheduler(c),
-		dataspace.WithReactive(reactive))
+		dataspace.WithReactive(reactive), dataspace.WithSecondaryIndex(secondary))
 	clog := trace.NewCommitLog()
 	clog.Attach(store)
 

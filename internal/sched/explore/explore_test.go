@@ -48,12 +48,12 @@ func TestExploreHeavyFaults(t *testing.T) {
 		subset = append(subset, p)
 	}
 	rep := Run(Options{
-		Seeds:    4,
+		Seeds:     4,
 		StartSeed: 1000,
-		Faults:   sched.Heavy(),
-		Timeout:  time.Minute,
-		Programs: subset,
-		Log:      t.Logf,
+		Faults:    sched.Heavy(),
+		Timeout:   time.Minute,
+		Programs:  subset,
+		Log:       t.Logf,
 	})
 	for _, f := range rep.Failures {
 		t.Errorf("%s", f)
@@ -230,10 +230,11 @@ func (*fakeErr) Error() string { return "fake failure" }
 
 func TestConfigForIsPure(t *testing.T) {
 	sawReactive, sawRequery := false, false
+	sawIndexed, sawScan := false, false
 	for seed := uint64(0); seed < 64; seed++ {
-		s1, m1, r1 := configFor(seed, Options{})
-		s2, m2, r2 := configFor(seed, Options{})
-		if s1 != s2 || m1 != m2 || r1 != r2 {
+		s1, m1, r1, x1 := configFor(seed, Options{})
+		s2, m2, r2, x2 := configFor(seed, Options{})
+		if s1 != s2 || m1 != m2 || r1 != r2 || x1 != x2 {
 			t.Fatalf("configFor(%d) unstable", seed)
 		}
 		if s1 < 1 || s1 > 8 {
@@ -244,12 +245,20 @@ func TestConfigForIsPure(t *testing.T) {
 		} else {
 			sawRequery = true
 		}
+		if x1 {
+			sawIndexed = true
+		} else {
+			sawScan = true
+		}
 	}
 	if !sawReactive || !sawRequery {
 		t.Errorf("seed split misses an ablation arm: reactive=%t requery=%t", sawReactive, sawRequery)
 	}
+	if !sawIndexed || !sawScan {
+		t.Errorf("seed split misses a secondary-index arm: indexed=%t scan=%t", sawIndexed, sawScan)
+	}
 	// Overrides win.
-	s, m, _ := configFor(9, Options{Shards: 2, Mode: 1})
+	s, m, _, _ := configFor(9, Options{Shards: 2, Mode: 1})
 	if s != 2 || m != 1 {
 		t.Errorf("overrides ignored: shards=%d mode=%v", s, m)
 	}
@@ -258,7 +267,7 @@ func TestConfigForIsPure(t *testing.T) {
 func TestCorpusComplete(t *testing.T) {
 	want := []string{"barrier", "pairing", "philosophers", "proplist", "sort", "sum1", "sum3",
 		"micro-upsert", "micro-commute", "micro-transfer", "micro-consensus", "micro-parallel",
-		"micro-durable", "micro-fair", "micro-reactive"}
+		"micro-durable", "micro-fair", "micro-reactive", "micro-index"}
 	got := Corpus()
 	if len(got) != len(want) {
 		t.Fatalf("corpus has %d programs, want %d", len(got), len(want))

@@ -261,6 +261,35 @@ main
   spawn Waiter(1), spawn Taker(2), spawn Noise(3), spawn Noise(4), spawn Release(1)
 end
 `
+
+	// microIndexSrc stresses the adaptive secondary-index lifecycle. Finder
+	// guards are wildcard-lead with only non-lead constants to select on, so
+	// the repeated full-arity scans push the (arity-3, field) shapes past the
+	// promotion bar mid-run — while Churners retract and re-assert rows of
+	// the same shape, driving incremental maintenance of the hot buckets and
+	// write-pressure demotion. The campaign splits seeds between the indexed
+	// arm and its arity-scan ablation (configFor), and both must reach the
+	// same final state under every schedule.
+	microIndexSrc = `
+process Find(g, n)
+behavior
+  <*, rec, g> => <hit, g, n>;
+  <*, rec, g> => <hit, g, n + 1>;
+  <*, rec, g> => <hit, g, n + 2>
+end
+
+process Churn(i)
+behavior
+  exists g: <i, rec, ?g>! => <i, rec, ?g>;
+  exists g: <i, rec, ?g>! => <i, rec, ?g>;
+  exists g: <i, rec, ?g>! => <i, rec, ?g>
+end
+
+main
+  -> <1, rec, 1>, <2, rec, 1>, <3, rec, 2>, <4, rec, 2>;
+  spawn Find(1, 1), spawn Find(2, 1), spawn Churn(1), spawn Churn(3)
+end
+`
 )
 
 // Corpus returns the exploration corpus: the seven examples/sdl programs
@@ -276,7 +305,7 @@ func Corpus() []Program {
 			Name: "barrier",
 			Src:  mustRead("barrier.sdl"),
 			Check: exact(map[string]int{
-				"<seed, 0>": 1,
+				"<seed, 0>":  1,
 				"<ready, 1>": 1, "<ready, 2>": 1, "<ready, 3>": 1,
 				"<passed, 1>": 1, "<passed, 2>": 1, "<passed, 3>": 1,
 			}),
@@ -299,9 +328,9 @@ func Corpus() []Program {
 			Name: "proplist",
 			Src:  mustRead("proplist.sdl"),
 			Check: exact(map[string]int{
-				"<1, color, 7, 2>":      1,
-				"<2, size, 42, 3>":      1,
-				"<3, weight, 99, nil>":  1,
+				"<1, color, 7, 2>":       1,
+				"<2, size, 42, 3>":       1,
+				"<3, weight, 99, nil>":   1,
 				"<found_fast, size, 42>": 1,
 				"<result, weight, 99>":   1,
 			}),
@@ -408,6 +437,16 @@ func Corpus() []Program {
 				"<job, 1, 1>": 1, "<done, 1>": 1, "<took, 2>": 1,
 				"<job, 3, 0>": 1, "<job, 13, 0>": 1,
 				"<job, 4, 0>": 1, "<job, 14, 0>": 1,
+			}),
+		},
+		{
+			Name: "micro-index",
+			Src:  microIndexSrc,
+			Check: exact(map[string]int{
+				"<1, rec, 1>": 1, "<2, rec, 1>": 1,
+				"<3, rec, 2>": 1, "<4, rec, 2>": 1,
+				"<hit, 1, 1>": 1, "<hit, 1, 2>": 1, "<hit, 1, 3>": 1,
+				"<hit, 2, 1>": 1, "<hit, 2, 2>": 1, "<hit, 2, 3>": 1,
 			}),
 		},
 	}

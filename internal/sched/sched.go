@@ -67,6 +67,7 @@ const (
 	PointWalSync                       // wal: before a commit blocks on its durability wait
 	PointWalCrash                      // wal: crash-injection cut selection (exploration only)
 	PointReactiveDeliver               // dataspace: subscription delta-delivery ordering
+	PointIndexPromote                  // dataspace: secondary-index shape promotion timing
 	NumPoints                          // number of points (not a real point)
 )
 
@@ -113,6 +114,8 @@ func (p Point) String() string {
 		return "wal-crash"
 	case PointReactiveDeliver:
 		return "reactive-deliver"
+	case PointIndexPromote:
+		return "index-promote"
 	default:
 		return "unknown"
 	}
@@ -370,6 +373,15 @@ func (c *Controller) ForceRetry() bool {
 func (c *Controller) DelaySignal() bool {
 	v := c.draw(PointConsensusSignal)
 	return v != 0 && uint8(v>>16) < c.faults.DelaySignal
+}
+
+// DeferPromote reports whether a secondary-index shape that just crossed
+// its promotion threshold should stay cold for one more scan, perturbing
+// index-build timing relative to concurrent asserts/retracts. Reuses the
+// Shuffle probability so existing fault profiles exercise it.
+func (c *Controller) DeferPromote() bool {
+	v := c.draw(PointIndexPromote)
+	return v != 0 && uint8(v>>16) < c.faults.Shuffle
 }
 
 // LockSpike returns the number of extra yields to perform while holding a

@@ -250,6 +250,14 @@ func (e *Engine) exec(req Request, kind metrics.TxnKind) (Result, error) {
 // touch only planned buckets, and the per-pattern plan above covers
 // everything the evaluation can read or write. That combination restores
 // the key-latch/group-commit path to view-restricted processes.
+//
+// Secondary field indexes never narrow this plan: a pattern with an
+// unknown lead stays unplanned even when constant non-lead fields give the
+// matcher an indexed access path, because the field index serves a
+// (possibly stale-shape) subset of the arity scan's buckets across every
+// shard — the footprint must still cover any shard a tuple of that arity
+// can live in. The index changes which tuples a scan visits inside the
+// locked footprint, not which shards the footprint locks.
 func footprintKeys(req Request) ([]dataspace.InterestKey, bool) {
 	if !req.View.Import.All || !req.View.Export.All {
 		if req.Footprint != footprint.Ground && req.Footprint != footprint.GroundKeys {

@@ -657,3 +657,50 @@ func BenchmarkImmediateRMW(b *testing.B) {
 		})
 	}
 }
+
+// TestFieldIndexedQueryStaysUnplanned pins the footprintKeys contract: a
+// pattern whose lead is unknown under the issuing environment stays off
+// the key-latch plan even when its constant non-lead fields give the
+// matcher an indexed access path — the field index changes which tuples a
+// scan visits inside the locked footprint, not which shards the footprint
+// locks. The lookups below promote their shape and are index-served, yet
+// every mutating commit still publishes through the coarse full-store
+// path.
+func TestFieldIndexedQueryStaysUnplanned(t *testing.T) {
+	s := dataspace.New(dataspace.WithShards(4), dataspace.WithSecondaryIndex(true))
+	e := New(s, Coarse)
+	for i := 0; i < 32; i++ {
+		s.Assert(tuple.Environment,
+			tuple.New(tuple.Int(int64(i)), tuple.Atom("rec"), tuple.Int(int64(i%4))))
+	}
+	pre := s.Metrics().Snapshot()
+	const lookups = 8
+	for i := 0; i < lookups; i++ {
+		res, err := e.Immediate(Request{
+			Proc: 1,
+			View: view.Universal(),
+			Query: pattern.Q(pattern.P(
+				pattern.V("x"), pattern.C(tuple.Atom("rec")), pattern.C(tuple.Int(int64(i%4))))),
+			Asserts: []pattern.Pattern{
+				pattern.P(pattern.C(tuple.Atom("hit")), pattern.V("x")),
+			},
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("lookup %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	post := s.Metrics().Snapshot()
+	if post.KeyCommits != pre.KeyCommits {
+		t.Errorf("unknown-lead commits took the key-latch path: %d -> %d",
+			pre.KeyCommits, post.KeyCommits)
+	}
+	if got := post.CoarseCommits - pre.CoarseCommits; got != lookups {
+		t.Errorf("coarse commits grew by %d, want %d", got, lookups)
+	}
+	if post.SecondaryPromotions == pre.SecondaryPromotions {
+		t.Error("repeated field scans promoted no shape")
+	}
+	if post.SecondaryIndexedScans == pre.SecondaryIndexedScans {
+		t.Error("promoted shape served no indexed scan")
+	}
+}

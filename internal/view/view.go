@@ -305,6 +305,59 @@ func (w Window) Scan(arity int, lead tuple.Value, leadKnown bool, fn func(tuple.
 	}
 }
 
+// ScanFields implements pattern.FieldSource, forwarding the secondary
+// field-index access path through the import filter. A bounded restriction
+// already narrows the scan to concrete lead buckets — cheaper than any
+// field index — so only the unbounded cases forward to the underlying
+// reader's ScanFields (when it has one; plain sources fall back to the
+// arity scan Scan performs).
+func (w Window) ScanFields(arity int, sels []pattern.FieldSel, fn func(tuple.ID, tuple.Tuple) bool) {
+	imp := w.v.Import
+	if imp.All {
+		if fs, ok := w.r.(pattern.FieldSource); ok {
+			fs.ScanFields(arity, sels, fn)
+			return
+		}
+		w.r.Scan(arity, tuple.Value{}, false, fn)
+		return
+	}
+	filtered := func(id tuple.ID, t tuple.Tuple) bool {
+		if !imp.Admits(w.r, w.env, t) {
+			return true
+		}
+		return fn(id, t)
+	}
+	leads, admitsAny, bounded := imp.restriction(w.env, arity)
+	switch {
+	case !admitsAny:
+		return // the view imports nothing of this arity
+	case bounded:
+		for _, l := range leads {
+			w.r.Scan(arity, l, true, filtered)
+		}
+	default:
+		if fs, ok := w.r.(pattern.FieldSource); ok {
+			fs.ScanFields(arity, sels, filtered)
+			return
+		}
+		w.r.Scan(arity, tuple.Value{}, false, filtered)
+	}
+}
+
+// JoinEstimator implements pattern.EstimatorProvider, exposing the
+// underlying reader's cardinalities to the join planner. For restricted
+// views the estimates ignore the import filter — a uniform overestimate
+// that still orders patterns usefully.
+func (w Window) JoinEstimator() pattern.Estimator {
+	if p, ok := w.r.(pattern.EstimatorProvider); ok {
+		return p.JoinEstimator()
+	}
+	if e, ok := w.r.(pattern.Estimator); ok {
+		return e
+	}
+	return nil
+}
+
 // Get exposes the underlying reader's Get so callers holding a window can
 // re-inspect matched instances.
 func (w Window) Get(id tuple.ID) (dataspace.Instance, bool) { return w.r.Get(id) }

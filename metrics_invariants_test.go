@@ -298,6 +298,45 @@ func TestSystemMetricsInvariants(t *testing.T) {
 		t.Errorf("reactive evals %d != delayed blocks %d", post.ReactiveEvals, del.Blocks)
 	}
 
+	// Secondary-index accounting: every non-lead field scan is served by
+	// exactly one access path — a promoted field index or the arity-walk
+	// fallback — so the two access-path counters partition the total, and
+	// a field-addressed read phase heavy enough to cross the promotion
+	// bar must move both the promotion counter and the indexed-scan
+	// counter.
+	for i := 0; i < 40; i++ {
+		sys.Store.Assert(Environment, NewTuple(Int(int64(1000+i)), Atom("mark"), Int(int64(i%4))))
+	}
+	preSec := sys.Snapshot()
+	const fieldReads = 30
+	for i := 0; i < fieldReads; i++ {
+		res, err := sys.Immediate(Request{
+			Proc:  ProcessID(3),
+			View:  Universal(),
+			Query: Q(P(V("x"), C(Atom("mark")), C(Int(int64(i%4))))),
+		})
+		if err != nil || !res.OK {
+			t.Fatalf("field read %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	secSnap := sys.Snapshot()
+	if got := secSnap.SecondaryIndexedScans + secSnap.SecondaryArityScans; got != secSnap.SecondaryFieldScans {
+		t.Errorf("secondary access paths: indexed %d + arity %d = %d, want %d field scans",
+			secSnap.SecondaryIndexedScans, secSnap.SecondaryArityScans, got, secSnap.SecondaryFieldScans)
+	}
+	if secSnap.SecondaryFieldScans == preSec.SecondaryFieldScans {
+		t.Error("field-addressed phase recorded no field scans")
+	}
+	if secSnap.SecondaryPromotions == 0 {
+		t.Error("scan pressure promoted no shape")
+	}
+	if secSnap.SecondaryIndexedScans == preSec.SecondaryIndexedScans {
+		t.Error("no scan was served by a promoted index after the promotion bar")
+	}
+	if secSnap.SecondaryDemotions > secSnap.SecondaryPromotions {
+		t.Errorf("secondary demotions %d > promotions %d", secSnap.SecondaryDemotions, secSnap.SecondaryPromotions)
+	}
+
 	// All waiters were satisfied, and shutdown leaves both gauges at zero.
 	sys.Close()
 	final := sys.Snapshot()

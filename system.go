@@ -30,6 +30,11 @@ type Options struct {
 	// wakes every blocked guard for a full re-query. The E16 ablation
 	// baseline.
 	DisableReactive bool
+	// DisableSecondaryIndex turns off adaptive secondary field indexes and
+	// the selectivity-guided join planner they feed: non-lead constrained
+	// scans degrade to full arity walks and plans to the boundness
+	// heuristic. The E17 ablation baseline.
+	DisableSecondaryIndex bool
 	// WALDir enables durability: commits are appended to a write-ahead
 	// log in this directory and become visible only once durable (per
 	// WALSync), and Open recovers any state the directory already holds —
@@ -76,7 +81,8 @@ func New(opts Options) *System {
 // every commit is durable before it becomes visible.
 func Open(opts Options) (*System, error) {
 	store := NewStore(WithShards(opts.Shards), WithScheduler(opts.Scheduler),
-		WithCommuting(!opts.DisableCommuting), WithReactive(!opts.DisableReactive))
+		WithCommuting(!opts.DisableCommuting), WithReactive(!opts.DisableReactive),
+		WithSecondaryIndex(!opts.DisableSecondaryIndex))
 	var (
 		wlog     *WAL
 		recovery *WALRecoveryStats
